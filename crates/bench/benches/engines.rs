@@ -1,0 +1,41 @@
+//! Engine speedup bench: the SyMPVL reduced transient versus the full
+//! SPICE MNA transient on the same pruned cluster with identical 1 kOhm
+//! Thevenin drivers — the wall-clock basis of the paper's 15-25x claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcv_designs::random::{random_cluster, RandomClusterConfig};
+use pcv_designs::Technology;
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
+use pcv_xtalk::{analyze_glitch, AnalysisContext, AnalysisOptions, EngineKind};
+
+fn bench_engines(c: &mut Criterion) {
+    let tech = Technology::c025();
+    let mut group = c.benchmark_group("glitch_analysis");
+    group.sample_size(10);
+    for n_agg in [2usize, 6, 12] {
+        let cl = random_cluster(
+            &RandomClusterConfig { n_aggressors: n_agg, seed: 99, ..Default::default() },
+            &tech,
+        );
+        let cluster = prune_victim(
+            &cl.db,
+            cl.victim,
+            &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 },
+        );
+        let ctx = AnalysisContext::fixed_resistance(&cl.db, 1000.0);
+        group.bench_with_input(BenchmarkId::new("mpvl", n_agg), &n_agg, |b, _| {
+            b.iter(|| {
+                analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap()
+            })
+        });
+        let spice_opts =
+            AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
+        group.bench_with_input(BenchmarkId::new("spice", n_agg), &n_agg, |b, _| {
+            b.iter(|| analyze_glitch(&ctx, &cluster, true, &spice_opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

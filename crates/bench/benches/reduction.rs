@@ -1,0 +1,51 @@
+//! Ablation bench: SyMPVL reduction cost versus Krylov order and cluster
+//! size, plus the cost split between reduction and reduced integration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcv_designs::structures::bundle;
+use pcv_mor::{simulate, sympvl, MorOptions, RcCluster};
+use pcv_netlist::termination::TheveninTermination;
+use pcv_netlist::SourceWave;
+use pcv_netlist::Termination;
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
+use pcv_xtalk::build_cluster;
+
+fn cluster(n_wires: usize) -> RcCluster {
+    let db = bundle(n_wires, 1500e-6, &pcv_designs::Technology::c025());
+    let victim = db.find_net("w1").unwrap();
+    let pruned = prune_victim(&db, victim, &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 });
+    build_cluster(&db, &pruned, &|_| 0.0, false).rc
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sympvl_reduce");
+    for order in [1usize, 2, 4, 8] {
+        let rc = cluster(4);
+        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &o| {
+            b.iter(|| sympvl::reduce(&rc, o).unwrap())
+        });
+    }
+    for wires in [3usize, 6, 10] {
+        let rc = cluster(wires);
+        group.bench_with_input(BenchmarkId::new("wires", wires), &wires, |b, _| {
+            b.iter(|| sympvl::reduce(&rc, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced_transient(c: &mut Criterion) {
+    let rc = cluster(4);
+    let rom = sympvl::reduce(&rc, 4).unwrap().diagonalize().unwrap();
+    let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 2.5, 1e-9, 0.2e-9));
+    let hold = TheveninTermination::new(1000.0, SourceWave::Dc(0.0));
+    let mut terms: Vec<Option<&dyn Termination>> = vec![None; rom.num_ports()];
+    terms[0] = Some(&drv);
+    terms[1] = Some(&hold);
+    c.bench_function("reduced_transient_10ns", |b| {
+        b.iter(|| simulate(&rom, &terms, 10e-9, &MorOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_reduce, bench_reduced_transient);
+criterion_main!(benches);

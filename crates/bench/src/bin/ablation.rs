@@ -1,0 +1,10 @@
+//! Regenerate the DESIGN.md ablation studies: Krylov order accuracy,
+//! Lanczos vs Arnoldi, and LU fill by ordering.
+
+use pcv_bench::experiments::ablation;
+
+fn main() {
+    let rows = ablation::order_sweep();
+    let fill = ablation::ordering_fill();
+    print!("{}", ablation::to_text(&rows, fill));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 3: MPVL vs SPICE crosstalk-peak error distribution.
+//! Pass `--full` for the paper's 113 networks.
+
+use pcv_bench::experiments::{fig3, Scale};
+
+fn main() {
+    let result = fig3::run(Scale::from_args());
+    print!("{}", result.to_text());
+}

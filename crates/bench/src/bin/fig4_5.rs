@@ -1,0 +1,14 @@
+//! Regenerate Figures 4/5: waveform overlay of the worst Figure 3 case,
+//! emitted as CSV on stdout.
+
+use pcv_bench::experiments::{fig45, Scale};
+
+fn main() {
+    let overlay = fig45::run_standalone(Scale::from_args());
+    eprintln!(
+        "worst case index {}: peak difference {:.4} V",
+        overlay.case_index,
+        overlay.peak_difference()
+    );
+    print!("{}", overlay.to_csv(200));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figures 6/7: nonlinear-cell-model accuracy on DSP latch-input
+//! victims vs transistor-level SPICE. Pass `--full` for 101 victims.
+
+use pcv_bench::experiments::{fig67, Scale};
+
+fn main() {
+    let (rise, fall) = fig67::run(Scale::from_args());
+    print!("{}", rise.to_text());
+    print!("{}", fall.to_text());
+}

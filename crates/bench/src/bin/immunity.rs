@@ -1,0 +1,33 @@
+//! `immunity` — print noise-immunity curves (critical glitch amplitude vs
+//! pulse width) for a few representative receivers, the transistor-level
+//! receiver analysis the paper lists as future work.
+
+use pcv_cells::library::CellLibrary;
+use pcv_xtalk::receiver::noise_immunity_curve;
+
+fn main() {
+    let lib = CellLibrary::standard_025();
+    let widths = [0.05e-9, 0.1e-9, 0.2e-9, 0.5e-9, 1.0e-9, 2.0e-9];
+    let vdd = 2.5;
+    println!("noise-immunity curves (critical amplitude in V for a 50% output excursion)");
+    print!("{:>10}", "width(ns)");
+    for &w in &widths {
+        print!("{:>9.2}", w * 1e9);
+    }
+    println!();
+    for name in ["INVX1", "INVX4", "INVX16", "BUFX4", "NAND2X4", "NOR2X4"] {
+        let cell = lib.cell(name).expect("cell exists");
+        let curve = noise_immunity_curve(cell, &widths, 0.0, vdd, 0.5)
+            .expect("immunity analysis succeeds");
+        print!("{name:>10}");
+        for p in &curve {
+            if p.critical_amplitude.is_finite() {
+                print!("{:>9.2}", p.critical_amplitude);
+            } else {
+                print!("{:>9}", "-");
+            }
+        }
+        println!();
+    }
+    println!("\nnarrow glitches need more amplitude; the wide-pulse limit is the DC threshold");
+}

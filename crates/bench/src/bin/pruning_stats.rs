@@ -1,0 +1,8 @@
+//! Regenerate the Section 3 pruning statistics and threshold ablation.
+
+use pcv_bench::experiments::pruning;
+
+fn main() {
+    let points = pruning::run();
+    print!("{}", pruning::to_text(&points));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1: coupled wire length vs peak glitch.
+
+fn main() {
+    let rows = pcv_bench::experiments::table1::run();
+    print!("{}", pcv_bench::experiments::table1::to_text(&rows));
+}

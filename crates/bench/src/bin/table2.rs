@@ -1,0 +1,6 @@
+//! Regenerate Table 2: interconnect delay with vs without coupling.
+
+fn main() {
+    let rows = pcv_bench::experiments::table2::run();
+    print!("{}", pcv_bench::experiments::table2::to_text(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 3: timing-library (linear) driver model vs SPICE.
+//! Pass `--full` for the paper-scale sweep (50+ cells x 60 lengths).
+
+use pcv_bench::experiments::{table34, Scale};
+use pcv_xtalk::drivers::DriverModelKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let study = table34::run(DriverModelKind::TimingLibrary, scale);
+    print!("{}", study.to_text("Table 3: timing-library (linear resistor) driver model vs SPICE"));
+}

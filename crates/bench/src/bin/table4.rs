@@ -1,0 +1,11 @@
+//! Regenerate Table 4: nonlinear cell model vs SPICE.
+//! Pass `--full` for the paper-scale sweep.
+
+use pcv_bench::experiments::{table34, Scale};
+use pcv_xtalk::drivers::DriverModelKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let study = table34::run(DriverModelKind::Nonlinear, scale);
+    print!("{}", study.to_text("Table 4: nonlinear cell model vs SPICE"));
+}

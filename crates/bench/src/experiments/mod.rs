@@ -1,0 +1,32 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig45;
+pub mod fig67;
+pub mod pruning;
+pub mod stats;
+pub mod table1;
+pub mod table2;
+pub mod table34;
+
+/// Experiment scale: `Quick` keeps runtimes interactive; `Full` matches the
+/// paper's population sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweep for interactive runs and CI.
+    Quick,
+    /// Paper-scale sweep (use `--release`).
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI args: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The Section 3 pruning-effectiveness statistic: average cluster size
+//! before and after capacitance-ratio pruning on the DSP-like block, plus
+//! the threshold ablation (how cluster size and decoupled capacitance trade
+//! against the pruning threshold).
+
+use pcv_cells::library::CellLibrary;
+use pcv_designs::dsp::{generate, DspConfig};
+use pcv_designs::Technology;
+use pcv_xtalk::prune::{prune_all, PruneConfig, PruningStats};
+
+/// Result at one threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdPoint {
+    /// The capacitance-ratio threshold.
+    pub cap_ratio: f64,
+    /// Cluster statistics at that threshold.
+    pub stats: PruningStats,
+    /// Mean decoupled capacitance per cluster (farads).
+    pub mean_decoupled: f64,
+}
+
+/// Run the sweep over thresholds on a generated block.
+pub fn run() -> Vec<ThresholdPoint> {
+    let tech = Technology::c025();
+    let lib = CellLibrary::standard_025();
+    let block = generate(
+        &DspConfig { n_buses: 6, bus_bits: 16, n_random_nets: 120, ..Default::default() },
+        &tech,
+        &lib,
+    );
+    [0.0, 0.005, 0.01, 0.02, 0.05, 0.1]
+        .iter()
+        .map(|&cap_ratio| {
+            let cfg = PruneConfig { cap_ratio, max_aggressors: 12 };
+            let clusters = prune_all(&block.parasitics, &cfg);
+            let mean_decoupled = clusters.iter().map(|c| c.decoupled_cap).sum::<f64>()
+                / clusters.len().max(1) as f64;
+            ThresholdPoint {
+                cap_ratio,
+                stats: PruningStats::compute(&clusters),
+                mean_decoupled,
+            }
+        })
+        .collect()
+}
+
+/// Paper-style text.
+pub fn to_text(points: &[ThresholdPoint]) -> String {
+    let mut out = String::from(
+        "Pruning effectiveness (Section 3): cluster sizes vs capacitance-ratio threshold\n",
+    );
+    out.push_str(
+        "  threshold   component   neighbors   mean after   max after   active   decoupled(fF)\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "  {:>9.3} {:>11.1} {:>11.1} {:>12.2} {:>11} {:>8} {:>15.2}\n",
+            p.cap_ratio,
+            p.stats.mean_component,
+            p.stats.mean_before,
+            p.stats.mean_after,
+            p.stats.max_after,
+            p.stats.active_clusters,
+            p.mean_decoupled * 1e15,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_thresholds_shrink_clusters() {
+        let points = run();
+        assert!(points.len() >= 3);
+        // Threshold 0 keeps everything; larger thresholds shrink clusters
+        // monotonically and decouple more capacitance.
+        for w in points.windows(2) {
+            assert!(w[1].stats.mean_after <= w[0].stats.mean_after + 1e-12);
+            assert!(w[1].mean_decoupled >= w[0].mean_decoupled - 1e-30);
+        }
+        // The default threshold leaves small clusters (the 2–5 net story).
+        let def = points.iter().find(|p| (p.cap_ratio - 0.02).abs() < 1e-12).unwrap();
+        assert!(def.stats.mean_after < def.stats.mean_before);
+        // Our synthetic block is bus-heavy, so clusters are a bit larger
+        // than the paper's 2-5; they must still be single-digit.
+        assert!(def.stats.mean_after <= 8.0, "got {}", def.stats.mean_after);
+        let text = to_text(&points);
+        assert!(text.contains("threshold"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Table 2: interconnect delay with and without coupling for the same
+//! structures as Table 1. "Without" grounds the coupling capacitance; the
+//! worst case switches the aggressors opposite to the victim.
+
+use super::table1::LENGTHS;
+use pcv_designs::structures::sandwich;
+use pcv_designs::Technology;
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
+use pcv_xtalk::{analyze_delay, AnalysisContext, AnalysisOptions, DelayMode};
+
+/// One row of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Coupled length (meters).
+    pub length: f64,
+    /// Rise delay without coupling (seconds).
+    pub rise_without: f64,
+    /// Rise delay with worst-case coupling.
+    pub rise_with: f64,
+    /// Fall delay without coupling.
+    pub fall_without: f64,
+    /// Fall delay with worst-case coupling.
+    pub fall_with: f64,
+}
+
+/// Run the sweep with 500 Ω linear drivers (emphasizing the interconnect,
+/// like the paper's controlled experiment).
+///
+/// # Panics
+///
+/// Panics on analysis failure (experiment harness context).
+pub fn run() -> Vec<Row> {
+    let tech = Technology::c025();
+    LENGTHS.iter().map(|&len| run_length(len, &tech)).collect()
+}
+
+/// One length of the sweep.
+///
+/// # Panics
+///
+/// Panics on analysis failure.
+pub fn run_length(length: f64, tech: &Technology) -> Row {
+    let db = sandwich(length, tech);
+    let victim = db.find_net("v").expect("victim exists");
+    let cluster = prune_victim(&db, victim, &PruneConfig::default());
+    let ctx = AnalysisContext::fixed_resistance(&db, 500.0);
+    let opts = AnalysisOptions { tstop: 20e-9, ..Default::default() };
+    let delay = |rising: bool, mode: DelayMode| -> f64 {
+        analyze_delay(&ctx, &cluster, rising, mode, &opts)
+            .expect("delay analysis succeeds")
+            .delay
+    };
+    Row {
+        length,
+        rise_without: delay(true, DelayMode::Decoupled),
+        rise_with: delay(true, DelayMode::Coupled { aggressors_opposite: true }),
+        fall_without: delay(false, DelayMode::Decoupled),
+        fall_with: delay(false, DelayMode::Coupled { aggressors_opposite: true }),
+    }
+}
+
+/// Format paper-style rows.
+pub fn to_text(rows: &[Row]) -> String {
+    let mut out =
+        String::from("Table 2: interconnect delays, decoupled vs worst-case coupling\n");
+    out.push_str(
+        "  ckt     length   rise w/o     rise w/     fall w/o     fall w/\n",
+    );
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  ckt{:<4} {:>6.0}um {:>9.4}ns {:>10.4}ns {:>11.4}ns {:>10.4}ns\n",
+            k + 1,
+            r.length * 1e6,
+            r.rise_without * 1e9,
+            r.rise_with * 1e9,
+            r.fall_without * 1e9,
+            r.fall_with * 1e9,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_degrades_delay_significantly() {
+        let row = run_length(1000e-6, &Technology::c025());
+        assert!(
+            row.rise_with > 1.2 * row.rise_without,
+            "worst-case coupling slows the rise: {} vs {}",
+            row.rise_with,
+            row.rise_without
+        );
+        assert!(
+            row.fall_with > 1.2 * row.fall_without,
+            "and the fall: {} vs {}",
+            row.fall_with,
+            row.fall_without
+        );
+        let text = to_text(&[row]);
+        assert!(text.contains("ckt1"));
+    }
+}

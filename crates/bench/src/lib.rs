@@ -1,0 +1,27 @@
+//! Experiment harness: the code that regenerates every table and figure of
+//! the paper's evaluation, plus shared fixtures for examples, integration
+//! tests and criterion benches.
+//!
+//! Run the binaries to print paper-style rows (release mode strongly
+//! recommended):
+//!
+//! ```text
+//! cargo run --release -p pcv-bench --bin table1
+//! cargo run --release -p pcv-bench --bin table2
+//! cargo run --release -p pcv-bench --bin table3        # add --full for paper scale
+//! cargo run --release -p pcv-bench --bin table4        # add --full for paper scale
+//! cargo run --release -p pcv-bench --bin fig3
+//! cargo run --release -p pcv-bench --bin fig4_5
+//! cargo run --release -p pcv-bench --bin fig6_7       # add --full for 101 victims
+//! cargo run --release -p pcv-bench --bin pruning_stats
+//! ```
+//!
+//! Criterion benches (`cargo bench -p pcv-bench`) measure the engine
+//! speedups and the design-choice ablations called out in `DESIGN.md`.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod fixtures;
+
+pub use fixtures::{charlib_for, structure_context, StructureFixture};

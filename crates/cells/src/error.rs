@@ -1,0 +1,65 @@
+//! Error type for cell characterization.
+
+use std::fmt;
+
+/// Errors produced while characterizing cells or building driver models.
+#[derive(Debug)]
+pub enum CellError {
+    /// The underlying circuit simulation failed.
+    Sim(pcv_spice::SimError),
+    /// A waveform measurement (crossing, slew) was not observable.
+    Measurement {
+        /// What was being measured.
+        what: &'static str,
+        /// The cell being characterized.
+        cell: String,
+    },
+    /// A referenced cell does not exist in the library.
+    UnknownCell {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Sim(e) => write!(f, "characterization simulation failed: {e}"),
+            CellError::Measurement { what, cell } => {
+                write!(f, "could not measure {what} for cell {cell}")
+            }
+            CellError::UnknownCell { name } => write!(f, "unknown cell {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcv_spice::SimError> for CellError {
+    fn from(e: pcv_spice::SimError) -> Self {
+        CellError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CellError::UnknownCell { name: "X".into() };
+        assert!(e.to_string().contains("X"));
+        let e = CellError::Measurement { what: "slew", cell: "INVX1".into() };
+        assert!(e.to_string().contains("INVX1"));
+        let e = CellError::Sim(pcv_spice::SimError::NoConvergence { t: 0.0 });
+        assert!(e.to_string().contains("failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

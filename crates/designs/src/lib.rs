@@ -1,0 +1,35 @@
+//! Synthetic deep-submicron design generation and geometric RC extraction.
+//!
+//! The paper's evaluation runs on a proprietary Texas Instruments 0.25 µm
+//! DSP; this crate is the substitution (documented in `DESIGN.md`): it
+//! generates layouts with the same *electrical character* — long parallel
+//! buses at minimum pitch, coupling capacitance dominating total
+//! capacitance, latch-input victims, tri-state buses — and extracts them
+//! with a simple area/fringe/coupling model calibrated to published
+//! 0.25 µm-class values.
+//!
+//! * [`tech::Technology`] — process parameters (sheet resistance, area and
+//!   fringe capacitance, coupling versus spacing).
+//! * [`mod@extract`] — track-based wire geometry and RC extraction into a
+//!   [`pcv_netlist::ParasiticDb`].
+//! * [`structures`] — the paper's controlled experiments: a victim wire
+//!   flanked by two aggressors (Figure 1) at various coupled lengths
+//!   (Tables 1–2).
+//! * [`random`] — random coupled networks with 2–12 aggressors (Figure 3).
+//! * [`dsp`] — a DSP-like block generator with buses, random logic, latch
+//!   inputs, complementary flip-flop outputs and switching windows
+//!   (Sections 2 and 5).
+
+#![deny(missing_docs)]
+
+pub mod dsp;
+pub mod extract;
+pub mod random;
+pub mod structures;
+pub mod tech;
+
+pub use dsp::{DspBlock, DspConfig};
+pub use extract::{extract, fold_grounded_nets, WireGeom};
+pub use random::{random_cluster, RandomClusterConfig};
+pub use structures::{sandwich, shielded_sandwich};
+pub use tech::Technology;

@@ -1,0 +1,147 @@
+//! Random coupled networks — the population behind the paper's Figure 3
+//! (113 coupled networks with 2–12 aggressors, extracted from the DSP).
+//!
+//! Each cluster has one victim wire and `n_aggressors` aggressor wires
+//! stacked on neighboring tracks with randomized spans, so coupling
+//! strengths and RC shapes vary the way extracted design data does.
+
+use crate::extract::{extract, WireGeom};
+use crate::tech::Technology;
+use pcv_netlist::{ParasiticDb, PNetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a random coupled cluster.
+#[derive(Debug, Clone)]
+pub struct RandomClusterConfig {
+    /// Number of aggressor nets (the paper sweeps 2–12).
+    pub n_aggressors: usize,
+    /// Shortest wire length (meters).
+    pub min_len: f64,
+    /// Longest wire length (meters).
+    pub max_len: f64,
+    /// RNG seed (each Figure 3 case uses a distinct seed).
+    pub seed: u64,
+}
+
+impl Default for RandomClusterConfig {
+    fn default() -> Self {
+        RandomClusterConfig {
+            n_aggressors: 4,
+            min_len: 200e-6,
+            max_len: 2000e-6,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated cluster: the parasitics plus the victim/aggressor roles.
+#[derive(Debug, Clone)]
+pub struct RandomCluster {
+    /// Extracted parasitics.
+    pub db: ParasiticDb,
+    /// The victim net (named `"victim"`).
+    pub victim: PNetId,
+    /// Aggressor nets (named `"agg<i>"`), strongest-coupled first is *not*
+    /// guaranteed — order follows generation.
+    pub aggressors: Vec<PNetId>,
+}
+
+/// Generate a random victim/aggressor cluster.
+///
+/// # Panics
+///
+/// Panics if `n_aggressors == 0` or the length bounds are inverted or
+/// non-positive.
+pub fn random_cluster(cfg: &RandomClusterConfig, tech: &Technology) -> RandomCluster {
+    assert!(cfg.n_aggressors >= 1, "need at least one aggressor");
+    assert!(
+        cfg.min_len > 0.0 && cfg.max_len >= cfg.min_len,
+        "invalid length bounds"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vic_len = rng.gen_range(cfg.min_len..=cfg.max_len);
+    let mut wires = vec![WireGeom::min_width("victim", 0, 0.0, vic_len, tech)];
+
+    for i in 0..cfg.n_aggressors {
+        // Alternate above/below the victim, moving outward: tracks
+        // +1, -1, +2, -2, ... so early aggressors couple most strongly.
+        let ring = (i / 2 + 1) as i64;
+        let track = if i % 2 == 0 { ring } else { -ring };
+        // Random span overlapping the victim.
+        let len = rng.gen_range(cfg.min_len..=cfg.max_len).min(vic_len * 1.5);
+        let max_start = (vic_len - 0.3 * len).max(1e-6);
+        let x0 = rng.gen_range(0.0..max_start);
+        wires.push(WireGeom::min_width(format!("agg{i}"), track, x0, x0 + len, tech));
+    }
+    let seg = (vic_len / 20.0).clamp(5e-6, 50e-6);
+    let db = extract(&wires, tech, seg);
+    let victim = db.find_net("victim").expect("victim net exists");
+    let aggressors = (0..cfg.n_aggressors)
+        .map(|i| db.find_net(&format!("agg{i}")).expect("aggressor net exists"))
+        .collect();
+    RandomCluster { db, victim, aggressors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t = Technology::c025();
+        let cfg = RandomClusterConfig { seed: 42, ..Default::default() };
+        let a = random_cluster(&cfg, &t);
+        let b = random_cluster(&cfg, &t);
+        assert_eq!(a.db.num_nets(), b.db.num_nets());
+        assert!(
+            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs()
+                < 1e-30
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = Technology::c025();
+        let a = random_cluster(&RandomClusterConfig { seed: 1, ..Default::default() }, &t);
+        let b = random_cluster(&RandomClusterConfig { seed: 2, ..Default::default() }, &t);
+        assert!(
+            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs()
+                > 1e-18
+        );
+    }
+
+    #[test]
+    fn aggressor_count_is_respected_across_range() {
+        let t = Technology::c025();
+        for n in [2usize, 5, 8, 12] {
+            let cfg = RandomClusterConfig { n_aggressors: n, seed: n as u64, ..Default::default() };
+            let cl = random_cluster(&cfg, &t);
+            assert_eq!(cl.aggressors.len(), n);
+            assert_eq!(cl.db.num_nets(), n + 1);
+            // The victim couples to at least the inner aggressors.
+            assert!(!cl.db.neighbors(cl.victim).is_empty());
+        }
+    }
+
+    #[test]
+    fn victim_coupling_is_substantial() {
+        let t = Technology::c025();
+        let cl = random_cluster(
+            &RandomClusterConfig { n_aggressors: 6, seed: 7, ..Default::default() },
+            &t,
+        );
+        let cc = cl.db.total_coupling_cap(cl.victim);
+        let cg = cl.db.net(cl.victim).total_ground_cap();
+        assert!(cc > 0.3 * cg, "coupling {cc} vs grounded {cg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggressor")]
+    fn rejects_zero_aggressors() {
+        random_cluster(
+            &RandomClusterConfig { n_aggressors: 0, ..Default::default() },
+            &Technology::c025(),
+        );
+    }
+}

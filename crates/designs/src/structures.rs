@@ -1,0 +1,137 @@
+//! Controlled test structures from the paper's Section 2.
+//!
+//! Figure 1: a victim wire `V` flanked by two aggressors `A1`, `A2` at
+//! minimum pitch. Tables 1 and 2 sweep the coupled length of exactly this
+//! structure (100 µm — 4000 µm in the paper).
+
+use crate::extract::{extract, WireGeom};
+use crate::tech::Technology;
+use pcv_netlist::ParasiticDb;
+
+/// Build and extract the Figure 1 structure: nets named `"a1"`, `"v"`,
+/// `"a2"`, all `length` meters long, victim on the middle track.
+///
+/// Node 0 of every net is the driver (near end); the single load node is
+/// the far end.
+///
+/// # Panics
+///
+/// Panics on non-positive length.
+pub fn sandwich(length: f64, tech: &Technology) -> ParasiticDb {
+    assert!(length > 0.0, "length must be positive");
+    let seg = (length / 20.0).clamp(5e-6, 50e-6);
+    let wires = vec![
+        WireGeom::min_width("a1", 0, 0.0, length, tech),
+        WireGeom::min_width("v", 1, 0.0, length, tech),
+        WireGeom::min_width("a2", 2, 0.0, length, tech),
+    ];
+    extract(&wires, tech, seg)
+}
+
+/// A parallel bundle of `n` equal wires at minimum pitch (track `i` for
+/// wire `i`), named `"w0"`, `"w1"`, ….
+///
+/// # Panics
+///
+/// Panics on `n == 0` or non-positive length.
+pub fn bundle(n: usize, length: f64, tech: &Technology) -> ParasiticDb {
+    assert!(n > 0, "need at least one wire");
+    assert!(length > 0.0, "length must be positive");
+    let seg = (length / 20.0).clamp(5e-6, 50e-6);
+    let wires: Vec<WireGeom> = (0..n)
+        .map(|i| WireGeom::min_width(format!("w{i}"), i as i64, 0.0, length, tech))
+        .collect();
+    extract(&wires, tech, seg)
+}
+
+/// The Figure 1 structure with grounded shield wires inserted between the
+/// victim and each aggressor (tracks: A1, shield, V, shield, A2). The
+/// shields are folded into ground capacitance, so the result has the same
+/// three nets as [`sandwich`] but with the victim largely decoupled — the
+/// classic crosstalk mitigation.
+///
+/// # Panics
+///
+/// Panics on non-positive length.
+pub fn shielded_sandwich(length: f64, tech: &Technology) -> ParasiticDb {
+    assert!(length > 0.0, "length must be positive");
+    let seg = (length / 20.0).clamp(5e-6, 50e-6);
+    let wires = vec![
+        WireGeom::min_width("a1", 0, 0.0, length, tech),
+        WireGeom::min_width("sh1", 1, 0.0, length, tech),
+        WireGeom::min_width("v", 2, 0.0, length, tech),
+        WireGeom::min_width("sh2", 3, 0.0, length, tech),
+        WireGeom::min_width("a2", 4, 0.0, length, tech),
+    ];
+    let raw = extract(&wires, tech, seg);
+    crate::extract::fold_grounded_nets(&raw, &["sh1", "sh2"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_has_three_nets_with_symmetric_coupling() {
+        let t = Technology::c025();
+        let db = sandwich(1000e-6, &t);
+        assert_eq!(db.num_nets(), 3);
+        let v = db.find_net("v").unwrap();
+        let a1 = db.find_net("a1").unwrap();
+        let a2 = db.find_net("a2").unwrap();
+        let nbrs = db.neighbors(v);
+        assert_eq!(nbrs.len(), 2);
+        // Symmetric aggressors couple equally.
+        assert!((nbrs[0].1 - nbrs[1].1).abs() / nbrs[0].1 < 1e-9);
+        // Victim coupling exceeds its grounded cap (DSM regime).
+        assert!(db.total_coupling_cap(v) > db.net(v).total_ground_cap());
+        let _ = (a1, a2);
+    }
+
+    #[test]
+    fn coupling_grows_linearly_with_length() {
+        let t = Technology::c025();
+        let short = sandwich(100e-6, &t);
+        let long = sandwich(4000e-6, &t);
+        let cs = short.total_coupling_cap(short.find_net("v").unwrap());
+        let cl = long.total_coupling_cap(long.find_net("v").unwrap());
+        assert!((cl / cs - 40.0).abs() < 0.5, "ratio {}", cl / cs);
+    }
+
+    #[test]
+    fn bundle_builds_n_wires() {
+        let t = Technology::c025();
+        let db = bundle(5, 500e-6, &t);
+        assert_eq!(db.num_nets(), 5);
+        // Middle wire sees two strong neighbors.
+        let mid = db.find_net("w2").unwrap();
+        assert!(db.neighbors(mid).len() >= 2);
+    }
+
+    #[test]
+    fn shielding_decouples_the_victim() {
+        let t = Technology::c025();
+        let open = sandwich(1000e-6, &t);
+        let shielded = shielded_sandwich(1000e-6, &t);
+        assert_eq!(shielded.num_nets(), 3);
+        let vo = open.find_net("v").unwrap();
+        let vs = shielded.find_net("v").unwrap();
+        // Coupling to the aggressors collapses (they are 2 tracks away and
+        // screened); grounded cap grows by the folded shield coupling.
+        assert!(
+            shielded.total_coupling_cap(vs) < 0.5 * open.total_coupling_cap(vo),
+            "shielded {} vs open {}",
+            shielded.total_coupling_cap(vs),
+            open.total_coupling_cap(vo)
+        );
+        assert!(
+            shielded.net(vs).total_ground_cap() > open.net(vo).total_ground_cap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_length() {
+        sandwich(-1.0, &Technology::c025());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of extraction invariants: conservation of totals
+//! under segmentation, coupling symmetry, and generator robustness.
+
+use pcv_designs::extract::{extract, fold_grounded_nets, WireGeom};
+use pcv_designs::random::{random_cluster, RandomClusterConfig};
+use pcv_designs::Technology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn totals_are_segmentation_invariant(
+        len_um in 20.0f64..3000.0,
+        seg_a_um in 5.0f64..60.0,
+        seg_b_um in 5.0f64..60.0,
+    ) {
+        let t = Technology::c025();
+        let wire = || WireGeom::min_width("w", 0, 0.0, len_um * 1e-6, &t);
+        let a = extract(&[wire()], &t, seg_a_um * 1e-6);
+        let b = extract(&[wire()], &t, seg_b_um * 1e-6);
+        let na = a.find_net("w").unwrap();
+        let nb = b.find_net("w").unwrap();
+        let ra = a.net(na).total_resistance();
+        let rb = b.net(nb).total_resistance();
+        prop_assert!((ra - rb).abs() <= 1e-9 * ra, "total R invariant: {} vs {}", ra, rb);
+        let ca = a.net(na).total_ground_cap();
+        let cb = b.net(nb).total_ground_cap();
+        prop_assert!((ca - cb).abs() <= 1e-9 * ca, "total C invariant: {} vs {}", ca, cb);
+    }
+
+    #[test]
+    fn coupling_total_is_segmentation_invariant(
+        len_um in 50.0f64..2000.0,
+        seg_a_um in 5.0f64..50.0,
+        seg_b_um in 5.0f64..50.0,
+    ) {
+        let t = Technology::c025();
+        let mk = |seg: f64| {
+            let wires = vec![
+                WireGeom::min_width("a", 0, 0.0, len_um * 1e-6, &t),
+                WireGeom::min_width("b", 1, 0.0, len_um * 1e-6, &t),
+            ];
+            extract(&wires, &t, seg * 1e-6)
+        };
+        let da = mk(seg_a_um);
+        let db = mk(seg_b_um);
+        let ca = da.total_coupling_cap(da.find_net("a").unwrap());
+        let cb = db.total_coupling_cap(db.find_net("a").unwrap());
+        prop_assert!((ca - cb).abs() <= 1e-9 * ca, "coupling invariant: {} vs {}", ca, cb);
+    }
+
+    #[test]
+    fn coupling_is_symmetric_between_partners(
+        len_a in 100.0f64..1500.0,
+        len_b in 100.0f64..1500.0,
+        offset in 0.0f64..500.0,
+    ) {
+        let t = Technology::c025();
+        let wires = vec![
+            WireGeom::min_width("a", 0, 0.0, len_a * 1e-6, &t),
+            WireGeom::min_width("b", 1, offset * 1e-6, (offset + len_b) * 1e-6, &t),
+        ];
+        let db = extract(&wires, &t, 25e-6);
+        let na = db.find_net("a").unwrap();
+        let nb = db.find_net("b").unwrap();
+        prop_assert!(
+            (db.total_coupling_cap(na) - db.total_coupling_cap(nb)).abs() < 1e-28,
+            "both ends see the same coupling"
+        );
+    }
+
+    #[test]
+    fn shield_folding_conserves_total_capacitance(
+        len_um in 100.0f64..2000.0,
+    ) {
+        let t = Technology::c025();
+        let wires = vec![
+            WireGeom::min_width("a", 0, 0.0, len_um * 1e-6, &t),
+            WireGeom::min_width("sh", 1, 0.0, len_um * 1e-6, &t),
+            WireGeom::min_width("b", 2, 0.0, len_um * 1e-6, &t),
+        ];
+        let raw = extract(&wires, &t, 25e-6);
+        let folded = fold_grounded_nets(&raw, &["sh"]);
+        // For net `a`: grounded + remaining coupling after folding must
+        // equal its original total (coupling to the shield became ground
+        // capacitance; nothing disappears).
+        let ra = raw.find_net("a").unwrap();
+        let fa = folded.find_net("a").unwrap();
+        let before = raw.total_cap(ra);
+        let after = folded.total_cap(fa);
+        prop_assert!((before - after).abs() <= 1e-12 * before, "{} vs {}", before, after);
+    }
+
+    #[test]
+    fn random_clusters_are_well_formed(
+        n_agg in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let t = Technology::c025();
+        let cfg = RandomClusterConfig { n_aggressors: n_agg, seed, ..Default::default() };
+        let cl = random_cluster(&cfg, &t);
+        prop_assert_eq!(cl.db.num_nets(), n_agg + 1);
+        prop_assert_eq!(cl.aggressors.len(), n_agg);
+        // The victim always has at least one coupled neighbor (the inner
+        // aggressors sit on adjacent tracks overlapping the victim).
+        prop_assert!(!cl.db.neighbors(cl.victim).is_empty());
+        // Every net has positive wire resistance and capacitance.
+        for (_, net) in cl.db.iter() {
+            prop_assert!(net.total_resistance() > 0.0);
+            prop_assert!(net.total_ground_cap() > 0.0);
+            prop_assert!(!net.load_nodes().is_empty());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! PRIMA-style block Arnoldi reduction — the baseline alternative to
+//! SyMPVL.
+//!
+//! Where SyMPVL collapses the pencil through a Cholesky change of variables
+//! and runs a *symmetric* Lanczos iteration, the PRIMA family iterates on
+//! `A = G⁻¹C` with block Arnoldi and projects the pencil by congruence:
+//! `Ĝ = VᵀGV`, `Ĉ = VᵀCV`, `B̂ = VᵀB`. Passivity is again preserved
+//! (congruence of SPD matrices), but each Arnoldi step matches only *one*
+//! block moment versus Lanczos's two — the ablation bench
+//! (`pcv-bench/benches/reduction.rs`) quantifies the trade.
+//!
+//! The projected pencil is converted to the same [`ReducedModel`] shape
+//! SyMPVL produces (`T = F̂⁻ᵀ Ĉ F̂⁻¹`, `ρ = F̂⁻ᵀ B̂` with `Ĝ = F̂ᵀF̂`), so
+//! both reductions feed the identical transient machinery.
+
+use crate::error::MorError;
+use crate::model::ReducedModel;
+use crate::rc::RcCluster;
+use pcv_sparse::dense::DenseCholesky;
+use pcv_sparse::vecops::{axpy, dot, norm2};
+use pcv_sparse::{Dense, SparseCholesky};
+
+const DEFLATION_TOL: f64 = 1e-10;
+
+/// Reduce an RC cluster with block Arnoldi (PRIMA-style), producing at most
+/// `block_iters * num_ports` states.
+///
+/// # Errors
+///
+/// * [`MorError::NoPorts`] when the cluster has no ports.
+/// * [`MorError::InvalidValue`] when `block_iters == 0`.
+/// * [`MorError::Numeric`] on factorization failure.
+pub fn reduce_arnoldi(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorError> {
+    let p = cl.num_ports();
+    if p == 0 {
+        return Err(MorError::NoPorts);
+    }
+    if block_iters == 0 {
+        return Err(MorError::InvalidValue { what: "block_iters" });
+    }
+    let n = cl.num_nodes();
+    let g = cl.conductance_matrix();
+    let c = cl.capacitance_matrix();
+    let gchol = SparseCholesky::factor(&g)?;
+
+    // Starting block: X0 = G⁻¹ B.
+    let mut start: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for &port in cl.ports() {
+        let mut e = vec![0.0; n];
+        e[port] = 1.0;
+        start.push(gchol.solve(&e));
+    }
+    // A v = G⁻¹ C v.
+    let apply_a = |v: &[f64]| -> Vec<f64> { gchol.solve(&c.matvec(v)) };
+
+    // Block Arnoldi with full Gram–Schmidt orthogonalization.
+    let max_states = (block_iters * p).min(n);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(max_states);
+    let mut current: Vec<usize> = Vec::new();
+    for col in &start {
+        if basis.len() >= max_states {
+            break;
+        }
+        if let Some(v) = orthonormalize(col, &basis) {
+            basis.push(v);
+            current.push(basis.len() - 1);
+        }
+    }
+    while !current.is_empty() && basis.len() < max_states {
+        let mut next = Vec::new();
+        for &idx in &current {
+            if basis.len() >= max_states {
+                break;
+            }
+            let w = apply_a(&basis[idx]);
+            if let Some(v) = orthonormalize(&w, &basis) {
+                basis.push(v);
+                next.push(basis.len() - 1);
+            }
+        }
+        current = next;
+    }
+    let q = basis.len();
+
+    // Congruence projection of the pencil.
+    let mut g_hat = Dense::zeros(q, q);
+    let mut c_hat = Dense::zeros(q, q);
+    for j in 0..q {
+        let gv = g.matvec(&basis[j]);
+        let cv = c.matvec(&basis[j]);
+        for i in 0..q {
+            g_hat[(i, j)] = dot(&basis[i], &gv);
+            c_hat[(i, j)] = dot(&basis[i], &cv);
+        }
+    }
+    g_hat.symmetrize();
+    c_hat.symmetrize();
+    let mut b_hat = Dense::zeros(q, p);
+    for (j, &port) in cl.ports().iter().enumerate() {
+        for i in 0..q {
+            b_hat[(i, j)] = basis[i][port];
+        }
+    }
+
+    // Convert to (T, ρ): Ĝ = F̂ᵀF̂, T = F̂⁻ᵀ Ĉ F̂⁻¹, ρ = F̂⁻ᵀ B̂.
+    let fchol = DenseCholesky::factor(&g_hat)?;
+    let mut t = Dense::zeros(q, q);
+    for j in 0..q {
+        // Column j of F̂⁻ᵀ Ĉ F̂⁻¹: solve Lᵀ u = e_j, w = Ĉ u, solve L t_j = w.
+        let mut u = vec![0.0; q];
+        u[j] = 1.0;
+        fchol.solve_lower_t_in_place(&mut u);
+        let mut w = c_hat.matvec(&u);
+        fchol.solve_lower_in_place(&mut w);
+        t.set_col(j, &w);
+    }
+    t.symmetrize();
+    let mut rho = Dense::zeros(q, p);
+    for j in 0..p {
+        let mut col = b_hat.col(j);
+        fchol.solve_lower_in_place(&mut col);
+        rho.set_col(j, &col);
+    }
+    Ok(ReducedModel::new(t, rho))
+}
+
+fn orthonormalize(w: &[f64], basis: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let mut v = w.to_vec();
+    let orig = norm2(&v);
+    if orig == 0.0 {
+        return None;
+    }
+    for _ in 0..2 {
+        for b in basis {
+            let proj = dot(b, &v);
+            axpy(-proj, b, &mut v);
+        }
+    }
+    let nrm = norm2(&v);
+    if nrm <= DEFLATION_TOL * orig {
+        return None;
+    }
+    let inv = 1.0 / nrm;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sympvl;
+
+    fn coupled_pair(segments: usize) -> RcCluster {
+        let mut cl = RcCluster::new();
+        let line = |cl: &mut RcCluster| -> Vec<usize> {
+            let nodes: Vec<usize> = (0..segments).map(|_| cl.add_node()).collect();
+            for w in nodes.windows(2) {
+                cl.add_resistor(w[0], w[1], 40.0).unwrap();
+            }
+            for &nd in &nodes {
+                cl.add_ground_cap(nd, 2e-15).unwrap();
+            }
+            nodes
+        };
+        let a = line(&mut cl);
+        let b = line(&mut cl);
+        for (&x, &y) in a.iter().zip(&b) {
+            cl.add_capacitor(x, y, 3e-15).unwrap();
+        }
+        cl.add_port(a[0]);
+        cl.add_port(b[0]);
+        cl
+    }
+
+    #[test]
+    fn arnoldi_matches_exact_transfer_at_high_order() {
+        let cl = coupled_pair(10);
+        let rom = reduce_arnoldi(&cl, 8).unwrap();
+        let s = 2e9;
+        let exact = cl.exact_transfer(s).unwrap();
+        let h = rom.transfer(s).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let denom = exact[(i, j)].abs().max(1e-6 * exact[(0, 0)].abs());
+                let rel = (h[(i, j)] - exact[(i, j)]).abs() / denom;
+                assert!(rel < 1e-5, "({i},{j}): {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn arnoldi_dc_moment_matches() {
+        let cl = coupled_pair(6);
+        let rom = reduce_arnoldi(&cl, 1).unwrap();
+        let exact = cl.exact_transfer(0.0).unwrap();
+        let h0 = rom.transfer(0.0).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let denom = exact[(i, j)].abs().max(1e-9 * exact[(0, 0)].abs());
+                let rel = (h0[(i, j)] - exact[(i, j)]).abs() / denom;
+                assert!(rel < 1e-7, "dc mismatch ({i},{j}): {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn arnoldi_model_is_passive() {
+        let cl = coupled_pair(8);
+        let rom = reduce_arnoldi(&cl, 4).unwrap();
+        assert!(rom.is_passive(1e-12).unwrap());
+        let d = rom.diagonalize().unwrap();
+        assert!(d.d().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn sympvl_converges_faster_per_state() {
+        // At equal (small) order, the Lanczos-based SyMPVL matches more
+        // moments and should be at least as accurate as Arnoldi.
+        let cl = coupled_pair(14);
+        let s = 3e9;
+        let exact = cl.exact_transfer(s).unwrap();
+        let err = |rom: &ReducedModel| -> f64 {
+            let h = rom.transfer(s).unwrap();
+            let mut e = 0.0f64;
+            for i in 0..2 {
+                for j in 0..2 {
+                    let denom = exact[(i, j)].abs().max(1e-6 * exact[(0, 0)].abs());
+                    e = e.max((h[(i, j)] - exact[(i, j)]).abs() / denom);
+                }
+            }
+            e
+        };
+        let lanczos = sympvl::reduce(&cl, 2).unwrap();
+        let arnoldi = reduce_arnoldi(&cl, 2).unwrap();
+        assert!(lanczos.order() <= arnoldi.order() + 1);
+        assert!(
+            err(&lanczos) <= err(&arnoldi) * 1.5 + 1e-12,
+            "lanczos {} vs arnoldi {}",
+            err(&lanczos),
+            err(&arnoldi)
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let cl = coupled_pair(3);
+        assert!(matches!(reduce_arnoldi(&cl, 0), Err(MorError::InvalidValue { .. })));
+        let empty = RcCluster::new();
+        assert!(matches!(reduce_arnoldi(&empty, 2), Err(MorError::NoPorts)));
+    }
+}

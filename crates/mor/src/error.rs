@@ -1,0 +1,85 @@
+//! Error type for model-order reduction.
+
+use std::fmt;
+
+/// Errors produced while assembling, reducing or simulating RC clusters.
+#[derive(Debug)]
+pub enum MorError {
+    /// The underlying linear algebra failed (e.g. `G` not positive
+    /// definite after `gmin` regularization).
+    Numeric(pcv_sparse::Error),
+    /// A node or port index was out of range.
+    InvalidIndex {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending value.
+        index: usize,
+        /// Exclusive upper bound.
+        bound: usize,
+    },
+    /// A parameter value was rejected.
+    InvalidValue {
+        /// Description of the parameter.
+        what: &'static str,
+    },
+    /// The cluster has no ports.
+    NoPorts,
+    /// Newton iteration in the reduced transient failed to converge.
+    NoConvergence {
+        /// Simulation time of the failure.
+        t: f64,
+    },
+    /// An element was found that the linear reduction cannot absorb.
+    NotLinear,
+}
+
+impl fmt::Display for MorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            MorError::InvalidIndex { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            MorError::InvalidValue { what } => write!(f, "invalid value for {what}"),
+            MorError::NoPorts => write!(f, "cluster has no ports"),
+            MorError::NoConvergence { t } => {
+                write!(f, "reduced-model newton failed to converge at t = {t:e}")
+            }
+            MorError::NotLinear => {
+                write!(f, "circuit contains elements the linear reduction cannot absorb")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MorError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcv_sparse::Error> for MorError {
+    fn from(e: pcv_sparse::Error) -> Self {
+        MorError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MorError::NoPorts.to_string().contains("ports"));
+        assert!(MorError::NotLinear.to_string().contains("linear"));
+        assert!(MorError::NoConvergence { t: 1.0 }.to_string().contains("newton"));
+        let e = MorError::InvalidIndex { what: "port", index: 5, bound: 3 };
+        assert!(e.to_string().contains('5'));
+        let e = MorError::Numeric(pcv_sparse::Error::Singular { col: 1 });
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,325 @@
+//! Reduced-order models: the projected pencil `(T, ρ)` and its diagonalized
+//! form `(D, η)` used for fast transient integration.
+
+use crate::error::MorError;
+use pcv_sparse::eig::jacobi_eigen;
+use pcv_sparse::dense::{Dense, DenseLu};
+
+/// The SyMPVL reduced model `T v̇_r + v_r = ρ u`, `y = ρᵀ v_r`.
+///
+/// Produced by [`crate::sympvl::reduce`]; `T` is symmetric positive
+/// semidefinite by construction (a congruence projection of
+/// `A = F⁻ᵀ C F⁻¹`), which makes the model provably stable and passive.
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    t: Dense,
+    rho: Dense,
+}
+
+impl ReducedModel {
+    /// Build from the projected matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` is not square or `ρ` row count differs from `T`.
+    pub fn new(t: Dense, rho: Dense) -> Self {
+        assert_eq!(t.nrows(), t.ncols(), "T must be square");
+        assert_eq!(rho.nrows(), t.nrows(), "rho rows must match T");
+        ReducedModel { t, rho }
+    }
+
+    /// Number of reduced states.
+    pub fn order(&self) -> usize {
+        self.t.nrows()
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.rho.ncols()
+    }
+
+    /// The projected `T` matrix.
+    pub fn t(&self) -> &Dense {
+        &self.t
+    }
+
+    /// The projected input map `ρ`.
+    pub fn rho(&self) -> &Dense {
+        &self.rho
+    }
+
+    /// Reduced transfer-function matrix `H(s) = ρᵀ (I + sT)⁻¹ ρ` at a real
+    /// frequency point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a numeric error if `I + sT` is singular (cannot happen for
+    /// `s ≥ 0` on a passive model).
+    pub fn transfer(&self, s: f64) -> Result<Dense, MorError> {
+        let q = self.order();
+        let p = self.num_ports();
+        let mut m = Dense::identity(q);
+        for r in 0..q {
+            for c in 0..q {
+                m[(r, c)] += s * self.t[(r, c)];
+            }
+        }
+        let lu = DenseLu::factor(m)?;
+        let mut h = Dense::zeros(p, p);
+        for j in 0..p {
+            let x = lu.solve(&self.rho.col(j));
+            for i in 0..p {
+                let mut sum = 0.0;
+                for k in 0..q {
+                    sum += self.rho[(k, i)] * x[k];
+                }
+                h[(i, j)] = sum;
+            }
+        }
+        Ok(h)
+    }
+
+    /// The `k`-th block moment `ρᵀ (-T)ᵏ ρ` of the reduced transfer function
+    /// (its Taylor coefficients at `s = 0`).
+    pub fn moment(&self, k: usize) -> Dense {
+        let q = self.order();
+        let p = self.num_ports();
+        // x_j = (-T)^k rho_j
+        let mut cols: Vec<Vec<f64>> = (0..p).map(|j| self.rho.col(j)).collect();
+        for _ in 0..k {
+            for col in cols.iter_mut() {
+                let y = self.t.matvec(col);
+                for (c, yv) in col.iter_mut().zip(&y) {
+                    *c = -yv;
+                }
+            }
+        }
+        let mut m = Dense::zeros(p, p);
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..p {
+                let mut sum = 0.0;
+                for kk in 0..q {
+                    sum += self.rho[(kk, i)] * col[kk];
+                }
+                m[(i, j)] = sum;
+            }
+        }
+        m
+    }
+
+    /// `true` if every eigenvalue of `T` is at least `-tol` — the passivity
+    /// test of the paper's reference \[4\].
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failure (does not occur for finite models).
+    pub fn is_passive(&self, tol: f64) -> Result<bool, MorError> {
+        let eig = jacobi_eigen(&self.t)?;
+        Ok(eig.values.iter().all(|&w| w >= -tol))
+    }
+
+    /// Diagonalize: `T = QᵀDQ`, `η = Qρ`, clipping any (tiny, rounding-born)
+    /// negative eigenvalues to zero so the model is passive *in practice*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failure (does not occur for finite models).
+    pub fn diagonalize(&self) -> Result<DiagonalModel, MorError> {
+        let eig = jacobi_eigen(&self.t)?;
+        let q = self.order();
+        let p = self.num_ports();
+        let mut clipped = 0usize;
+        let d: Vec<f64> = eig
+            .values
+            .iter()
+            .map(|&w| {
+                if w < 0.0 {
+                    clipped += 1;
+                    0.0
+                } else {
+                    w
+                }
+            })
+            .collect();
+        // Q = Vᵀ (columns of V are eigenvectors), so η = Qρ = Vᵀρ.
+        let mut eta = Dense::zeros(q, p);
+        for i in 0..q {
+            for j in 0..p {
+                let mut sum = 0.0;
+                for k in 0..q {
+                    sum += eig.vectors[(k, i)] * self.rho[(k, j)];
+                }
+                eta[(i, j)] = sum;
+            }
+        }
+        Ok(DiagonalModel { d, eta, clipped })
+    }
+}
+
+/// The diagonalized reduced model `D ẋ + x = η u`, `y = ηᵀ x`
+/// (equation (5) of the paper).
+///
+/// Time constants are simply the entries of `D`; a zero entry is an
+/// algebraic (instantaneous) state.
+#[derive(Debug, Clone)]
+pub struct DiagonalModel {
+    d: Vec<f64>,
+    eta: Dense,
+    clipped: usize,
+}
+
+impl DiagonalModel {
+    /// The diagonal of `D` (reduced time constants, seconds).
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// The rotated input/output map `η`.
+    pub fn eta(&self) -> &Dense {
+        &self.eta
+    }
+
+    /// Number of reduced states.
+    pub fn order(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.eta.ncols()
+    }
+
+    /// How many eigenvalues were clipped to zero to enforce passivity.
+    pub fn clipped_eigenvalues(&self) -> usize {
+        self.clipped
+    }
+
+    /// Port voltages `y = ηᵀ x` for a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the model order.
+    pub fn outputs(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.order(), "state length mismatch");
+        self.eta.matvec_t(x)
+    }
+
+    /// Transfer function of the diagonal form,
+    /// `H(s) = Σ_k η_kᵀ η_k / (1 + s d_k)` — used to cross-check the
+    /// diagonalization.
+    pub fn transfer(&self, s: f64) -> Dense {
+        let p = self.num_ports();
+        let mut h = Dense::zeros(p, p);
+        for (k, &dk) in self.d.iter().enumerate() {
+            let denom = 1.0 + s * dk;
+            for i in 0..p {
+                for j in 0..p {
+                    h[(i, j)] += self.eta[(k, i)] * self.eta[(k, j)] / denom;
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> ReducedModel {
+        // T diag-ish SPD, 3 states, 2 ports.
+        let t = Dense::from_rows(&[
+            &[2e-9, 1e-10, 0.0],
+            &[1e-10, 1e-9, 0.0],
+            &[0.0, 0.0, 5e-10],
+        ]);
+        let rho = Dense::from_rows(&[&[1.0, 0.2], &[0.0, 0.8], &[0.3, 0.1]]);
+        ReducedModel::new(t, rho)
+    }
+
+    #[test]
+    fn transfer_at_dc_is_rho_t_rho() {
+        let m = toy_model();
+        let h0 = m.transfer(0.0).unwrap();
+        let m0 = m.moment(0);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((h0[(i, j)] - m0[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn moments_are_taylor_coefficients() {
+        let m = toy_model();
+        // H(s) ≈ m0 + s m1 + s² m2 for small s.
+        let s = 1e3; // s * ||T|| ~ 1e-6, safely inside convergence
+        let h = m.transfer(s).unwrap();
+        let approx = |i: usize, j: usize| {
+            m.moment(0)[(i, j)] + s * m.moment(1)[(i, j)] + s * s * m.moment(2)[(i, j)]
+        };
+        for i in 0..2 {
+            for j in 0..2 {
+                let rel = (h[(i, j)] - approx(i, j)).abs() / h[(i, j)].abs().max(1e-300);
+                assert!(rel < 1e-9, "taylor mismatch {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_model_reproduces_transfer() {
+        let m = toy_model();
+        let d = m.diagonalize().unwrap();
+        for &s in &[0.0, 1e8, 1e9, 1e10] {
+            let h1 = m.transfer(s).unwrap();
+            let h2 = d.transfer(s);
+            for i in 0..2 {
+                for j in 0..2 {
+                    let rel =
+                        (h1[(i, j)] - h2[(i, j)]).abs() / h1[(i, j)].abs().max(1e-300);
+                    assert!(rel < 1e-9, "s={s}: {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn passivity_check_and_clipping() {
+        let m = toy_model();
+        assert!(m.is_passive(1e-15).unwrap());
+        let d = m.diagonalize().unwrap();
+        assert_eq!(d.clipped_eigenvalues(), 0);
+        assert!(d.d().iter().all(|&w| w >= 0.0));
+
+        // A slightly indefinite T gets clipped.
+        let t = Dense::from_rows(&[&[1e-9, 0.0], &[0.0, -1e-15]]);
+        let rho = Dense::from_rows(&[&[1.0], &[0.1]]);
+        let m2 = ReducedModel::new(t, rho);
+        assert!(!m2.is_passive(1e-18).unwrap());
+        let d2 = m2.diagonalize().unwrap();
+        assert_eq!(d2.clipped_eigenvalues(), 1);
+        assert!(d2.d().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn outputs_are_eta_transpose_x() {
+        let m = toy_model().diagonalize().unwrap();
+        let x = vec![1.0, -1.0, 0.5];
+        let y = m.outputs(&x);
+        assert_eq!(y.len(), 2);
+        let manual0: f64 = (0..3).map(|k| m.eta()[(k, 0)] * x[k]).sum();
+        assert!((y[0] - manual0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "T must be square")]
+    fn rejects_rectangular_t() {
+        ReducedModel::new(Dense::zeros(2, 3), Dense::zeros(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho rows")]
+    fn rejects_mismatched_rho() {
+        ReducedModel::new(Dense::zeros(2, 2), Dense::zeros(3, 1));
+    }
+}

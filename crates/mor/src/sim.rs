@@ -1,0 +1,541 @@
+//! Transient integration of the diagonalized reduced model with nonlinear
+//! terminations — the fast analysis engine of the paper (Section 3,
+//! equations (5)–(7)).
+//!
+//! The system `D ẋ + x = η u`, `y = ηᵀ x` is integrated with a linear
+//! multistep discretization `ẋ ≈ α x_k + β(history)`. Each Newton step then
+//! solves
+//!
+//! ```text
+//! (αD + I + Σⱼ ηⱼ gⱼ ηⱼᵀ) Δ = -F(x)
+//! ```
+//!
+//! whose matrix is a diagonal plus a rank-`k` correction (`k` = number of
+//! nonlinear terminations). The Sherman–Morrison–Woodbury identity makes
+//! each solve `O(q·k + k³)` instead of `O(q³)`, which is the efficiency
+//! claim at the heart of the paper.
+
+use crate::error::MorError;
+use crate::model::DiagonalModel;
+use pcv_netlist::termination::Termination;
+use pcv_netlist::Waveform;
+use pcv_sparse::dense::{Dense, DenseLu};
+
+/// Options for the reduced transient.
+#[derive(Debug, Clone)]
+pub struct MorOptions {
+    /// Maximum timestep as a fraction of the simulation span.
+    pub max_step_fraction: f64,
+    /// Newton convergence tolerance on port voltages (volts).
+    pub vtol: f64,
+    /// Largest port-voltage change accepted per Newton iteration (volts);
+    /// damps limit cycles across the kinks of tabulated driver models.
+    pub damping: f64,
+    /// Newton iteration budget per step.
+    pub max_newton: usize,
+    /// Smallest allowed timestep (seconds).
+    pub min_step: f64,
+}
+
+impl Default for MorOptions {
+    fn default() -> Self {
+        MorOptions {
+            max_step_fraction: 1.0 / 1000.0,
+            vtol: 1e-6,
+            damping: 0.5,
+            max_newton: 80,
+            min_step: 1e-18,
+        }
+    }
+}
+
+/// Result of a reduced-model transient: one waveform per port.
+#[derive(Debug, Clone)]
+pub struct MorTranResult {
+    times: Vec<f64>,
+    /// `data[p][k]` = port `p` voltage at `times[k]`.
+    data: Vec<Vec<f64>>,
+    /// Accepted steps.
+    pub steps: usize,
+    /// Total Newton iterations (CPU-cost proxy comparable to the SPICE
+    /// engine's counter).
+    pub newton_iters: usize,
+}
+
+impl MorTranResult {
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Waveform of a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range port index.
+    pub fn waveform(&self, port: usize) -> Waveform {
+        Waveform::from_samples(self.times.clone(), self.data[port].clone())
+    }
+
+    /// Number of ports recorded.
+    pub fn num_ports(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Integrate the reduced model from its DC state to `tstop`.
+///
+/// `terminations[j]` is the device attached to port `j` (`None` for
+/// observe-only ports, which carry no current). Termination capacitance is
+/// honored by augmenting the Jacobian and residual with the companion model
+/// of a grounded capacitor at the port.
+///
+/// # Errors
+///
+/// * [`MorError::InvalidIndex`] if the termination list length differs from
+///   the port count.
+/// * [`MorError::NoConvergence`] if Newton fails even at the minimum step.
+pub fn simulate(
+    model: &DiagonalModel,
+    terminations: &[Option<&dyn Termination>],
+    tstop: f64,
+    opts: &MorOptions,
+) -> Result<MorTranResult, MorError> {
+    let p = model.num_ports();
+    if terminations.len() != p {
+        return Err(MorError::InvalidIndex {
+            what: "termination list",
+            index: terminations.len(),
+            bound: p + 1,
+        });
+    }
+    if !(tstop > 0.0) {
+        return Err(MorError::InvalidValue { what: "tstop" });
+    }
+    let q = model.order();
+
+    // Active (current-carrying) ports.
+    let active: Vec<usize> = (0..p).filter(|&j| terminations[j].is_some()).collect();
+
+    // Port capacitances (companion-modeled at the ports).
+    let caps: Vec<f64> = (0..p)
+        .map(|j| terminations[j].map_or(0.0, |t| t.capacitance()))
+        .collect();
+    let has_cap: Vec<usize> = (0..p).filter(|&j| caps[j] > 0.0).collect();
+
+    // Breakpoints from termination stimuli.
+    let mut bps: Vec<f64> = Vec::new();
+    for t in terminations.iter().flatten() {
+        bps.extend(t.breakpoints());
+    }
+    bps.retain(|&b| b > 0.0 && b < tstop);
+    bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+    let mut bp_idx = 0usize;
+
+    // --- DC initialization: solve x = η u(0, ηᵀx). ---
+    // Tabulated driver surfaces have derivative kinks that can trap the
+    // damped Newton in a limit cycle; retry with progressively smaller
+    // steps (and a larger budget) before giving up.
+    let mut x = vec![0.0; q];
+    let mut iters = 0usize;
+    let mut dc_ok = false;
+    for damp_scale in [1.0, 0.2, 0.04] {
+        let mut dc_opts = opts.clone();
+        dc_opts.damping = opts.damping * damp_scale;
+        dc_opts.max_newton = opts.max_newton * 4;
+        x.iter_mut().for_each(|v| *v = 0.0);
+        if let Ok(it) = newton_solve(
+            model, terminations, &active, &caps, &has_cap, &mut x, /* alpha */ 0.0,
+            /* beta */ &vec![0.0; q], /* t */ 0.0, /* cap history */ None, &dc_opts,
+        ) {
+            iters = it;
+            dc_ok = true;
+            break;
+        }
+    }
+    if !dc_ok {
+        return Err(MorError::NoConvergence { t: 0.0 });
+    }
+    let mut total_newton = iters;
+
+    let mut y = model.outputs(&x);
+    let hmax = tstop * opts.max_step_fraction;
+    let h_init = hmax / 10.0;
+    let mut h = h_init;
+    let mut t = 0.0;
+    let tiny = tstop * 1e-12;
+
+    let mut times = vec![0.0];
+    let mut data: Vec<Vec<f64>> = (0..p).map(|j| vec![y[j]]).collect();
+    let mut steps = 0usize;
+
+    // Multistep history: xdot for trapezoidal, port-voltage/current history
+    // for the capacitor companions.
+    let mut xdot = vec![0.0; q];
+    let mut cap_v_prev = y.clone();
+    let mut cap_i_prev = vec![0.0; p];
+    let mut use_be = true;
+
+    while t < tstop - tiny {
+        let next_bp = bps.get(bp_idx).copied();
+        let mut h_eff = h.min(hmax).min(tstop - t);
+        if let Some(bp) = next_bp {
+            if bp > t + tiny {
+                h_eff = h_eff.min(bp - t);
+            }
+        }
+        // Multistep coefficients: ẋ = α x + β.
+        let (alpha, beta): (f64, Vec<f64>) = if use_be {
+            (1.0 / h_eff, x.iter().map(|&xi| -xi / h_eff).collect())
+        } else {
+            (
+                2.0 / h_eff,
+                x.iter().zip(&xdot).map(|(&xi, &xd)| -2.0 * xi / h_eff - xd).collect(),
+            )
+        };
+        let mut x_new = x.clone();
+        let cap_hist = Some((h_eff, use_be, &cap_v_prev[..], &cap_i_prev[..]));
+        match newton_solve(
+            model, terminations, &active, &caps, &has_cap, &mut x_new, alpha, &beta,
+            t + h_eff, cap_hist, opts,
+        ) {
+            Ok(it) => {
+                iters = it;
+                total_newton += it;
+                // Accept.
+                let y_new = model.outputs(&x_new);
+                for &j in &has_cap {
+                    let i_new = if use_be {
+                        caps[j] / h_eff * (y_new[j] - cap_v_prev[j])
+                    } else {
+                        2.0 * caps[j] / h_eff * (y_new[j] - cap_v_prev[j]) - cap_i_prev[j]
+                    };
+                    cap_i_prev[j] = i_new;
+                }
+                for j in 0..p {
+                    cap_v_prev[j] = y_new[j];
+                }
+                for k in 0..q {
+                    xdot[k] = alpha * x_new[k] + beta[k];
+                }
+                x = x_new;
+                y = y_new;
+                t += h_eff;
+                times.push(t);
+                for (j, dj) in data.iter_mut().enumerate() {
+                    dj.push(y[j]);
+                }
+                steps += 1;
+                use_be = false;
+                if let Some(bp) = next_bp {
+                    if (t - bp).abs() <= tiny {
+                        bp_idx += 1;
+                        h = h_init;
+                        use_be = true;
+                        continue;
+                    }
+                }
+                if iters <= 3 {
+                    h = (h * 1.5).min(hmax);
+                } else if iters >= 8 {
+                    h *= 0.5;
+                }
+            }
+            Err(()) => {
+                h /= 4.0;
+                use_be = true;
+                if h < opts.min_step {
+                    return Err(MorError::NoConvergence { t });
+                }
+            }
+        }
+    }
+    Ok(MorTranResult { times, data, steps, newton_iters: total_newton })
+}
+
+/// Newton solve of `F(x) = αD x + D β + x - η u = 0` where
+/// `u_j = -(i_term_j + i_cap_j)` on active ports. The Jacobian is
+/// `M + Σ η_j w_j η_jᵀ` with `M = αD + I` diagonal and
+/// `w_j = g_j + geq_j ≥ 0`, solved with the Woodbury identity.
+///
+/// Returns the iteration count, or `Err(())` on non-convergence (the caller
+/// retries with a smaller step).
+#[allow(clippy::too_many_arguments)]
+fn newton_solve(
+    model: &DiagonalModel,
+    terminations: &[Option<&dyn Termination>],
+    active: &[usize],
+    caps: &[f64],
+    has_cap: &[usize],
+    x: &mut Vec<f64>,
+    alpha: f64,
+    beta: &[f64],
+    t: f64,
+    cap_hist: Option<(f64, bool, &[f64], &[f64])>,
+    opts: &MorOptions,
+) -> Result<usize, ()> {
+    let q = model.order();
+    let d = model.d();
+    let eta = model.eta();
+    let k = active.len();
+
+    // M = αD + I (diagonal, strictly positive since D ≥ 0).
+    let m_diag: Vec<f64> = d.iter().map(|&dk| alpha * dk + 1.0).collect();
+
+    for iter in 0..opts.max_newton {
+        let y = model.outputs(x);
+        // Port currents and conductances.
+        let mut w = vec![0.0; k]; // effective conductance per active port
+        let mut i_port = vec![0.0; k]; // current drawn from port
+        for (a, &j) in active.iter().enumerate() {
+            let term = terminations[j].expect("active port has termination");
+            let (i_t, g_t) = term.eval(t, y[j]);
+            let (mut i_c, mut g_c) = (0.0, 0.0);
+            if caps[j] > 0.0 {
+                if let Some((h, be, v_prev, i_prev)) = cap_hist {
+                    let geq =
+                        if be { caps[j] / h } else { 2.0 * caps[j] / h };
+                    let ieq = if be {
+                        geq * v_prev[j]
+                    } else {
+                        geq * v_prev[j] + i_prev[j]
+                    };
+                    i_c = geq * y[j] - ieq;
+                    g_c = geq;
+                }
+                // In DC (cap_hist None) capacitors carry no current.
+            }
+            i_port[a] = i_t + i_c;
+            w[a] = (g_t + g_c).max(0.0);
+        }
+        let _ = has_cap;
+
+        // Residual F(x) = αD x + D β + x + Σ η_j i_port_j  (u = -i_port).
+        let mut f = vec![0.0; q];
+        for kk in 0..q {
+            f[kk] = alpha * d[kk] * x[kk] + d[kk] * beta[kk] + x[kk];
+        }
+        for (a, &j) in active.iter().enumerate() {
+            for kk in 0..q {
+                f[kk] += eta[(kk, j)] * i_port[a];
+            }
+        }
+
+        // Solve (M + U Wdiag Uᵀ') Δ = -F via Woodbury, where U columns are
+        // η_j and the correction is Σ η_j w_j η_jᵀ.
+        // Δ = -M⁻¹F + M⁻¹U (I + W Vᵀ M⁻¹ U)⁻¹ W Vᵀ M⁻¹ F   (V = U here)
+        let minv_f: Vec<f64> = (0..q).map(|kk| f[kk] / m_diag[kk]).collect();
+        let delta: Vec<f64> = if k == 0 {
+            minv_f.iter().map(|&v| -v).collect()
+        } else {
+            // S = I_k + W Uᵀ M⁻¹ U  (k×k), rhs_k = W Uᵀ M⁻¹ F.
+            let mut s = Dense::identity(k);
+            let mut rhs_k = vec![0.0; k];
+            for (a, &ja) in active.iter().enumerate() {
+                let mut dot_f = 0.0;
+                for kk in 0..q {
+                    dot_f += eta[(kk, ja)] * minv_f[kk];
+                }
+                rhs_k[a] = w[a] * dot_f;
+                for (b, &jb) in active.iter().enumerate() {
+                    let mut dot_u = 0.0;
+                    for kk in 0..q {
+                        dot_u += eta[(kk, ja)] * eta[(kk, jb)] / m_diag[kk];
+                    }
+                    s[(a, b)] += w[a] * dot_u;
+                }
+            }
+            let z = match DenseLu::factor(s) {
+                Ok(lu) => lu.solve(&rhs_k),
+                Err(_) => return Err(()),
+            };
+            // Δ = -M⁻¹F + M⁻¹ U z.
+            let mut delta: Vec<f64> = minv_f.iter().map(|&v| -v).collect();
+            for (a, &ja) in active.iter().enumerate() {
+                for kk in 0..q {
+                    delta[kk] += eta[(kk, ja)] * z[a] / m_diag[kk];
+                }
+            }
+            delta
+        };
+
+        let mut max_dy = 0.0f64;
+        for (a, &j) in active.iter().enumerate() {
+            let mut dy = 0.0;
+            for kk in 0..q {
+                dy += eta[(kk, j)] * delta[kk];
+            }
+            max_dy = max_dy.max(dy.abs());
+            let _ = a;
+        }
+        // Damp large steps: tabulated driver models have derivative kinks
+        // that full Newton steps can cycle across.
+        let scale = if max_dy > opts.damping { opts.damping / max_dy } else { 1.0 };
+        // Also watch the raw state update so observe-only models converge.
+        let max_dx = delta.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for kk in 0..q {
+            x[kk] += scale * delta[kk];
+        }
+        if max_dy < opts.vtol && max_dx < opts.vtol * 100.0 {
+            return Ok(iter + 1);
+        }
+    }
+    Err(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc::RcCluster;
+    use crate::sympvl::reduce;
+    use pcv_netlist::termination::{
+        CapacitiveTermination, ResistiveTermination, TheveninTermination,
+    };
+    use pcv_netlist::SourceWave;
+
+    /// Single RC line: driver port at node 0, far-end port observed.
+    fn rc_line(segments: usize, r_per_seg: f64, c_per_seg: f64) -> RcCluster {
+        let mut cl = RcCluster::new();
+        let nodes: Vec<usize> = (0..segments).map(|_| cl.add_node()).collect();
+        for w in nodes.windows(2) {
+            cl.add_resistor(w[0], w[1], r_per_seg).unwrap();
+        }
+        for &nd in &nodes {
+            cl.add_ground_cap(nd, c_per_seg).unwrap();
+        }
+        cl.add_port(nodes[0]);
+        cl.add_port(nodes[segments - 1]);
+        cl
+    }
+
+    #[test]
+    fn thevenin_step_charges_line() {
+        // 10-segment line, total R = 500, total C = 10 fF; Thevenin driver
+        // 1 kΩ stepping 0 → 2.5 V.
+        let cl = rc_line(10, 50.0, 1e-15);
+        let rom = reduce(&cl, 4).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 2.5, 1e-10, 1e-11));
+        let res = simulate(
+            &rom,
+            &[Some(&drv), None],
+            20e-9,
+            &MorOptions::default(),
+        )
+        .unwrap();
+        let far = res.waveform(1);
+        // Fully charged at the end.
+        assert!((far.value_at(20e-9) - 2.5).abs() < 5e-3, "{}", far.value_at(20e-9));
+        // Starts at 0.
+        assert!(far.value_at(0.0).abs() < 1e-6);
+        // Monotone-ish rise: midpoint between 0 and 2.5.
+        let mid = far.value_at(0.15e-9);
+        assert!(mid > 0.1 && mid < 2.49, "mid-rise sample, got {mid}");
+    }
+
+    #[test]
+    fn reduced_transient_matches_analytic_rc() {
+        // Lumped RC: driver 1 kΩ into a single 1 pF node → tau = 1 ns.
+        let mut cl = RcCluster::new();
+        let a = cl.add_node();
+        cl.add_ground_cap(a, 1e-12).unwrap();
+        cl.add_port(a);
+        let rom = reduce(&cl, 2).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-13));
+        let res = simulate(&rom, &[Some(&drv)], 8e-9, &MorOptions::default()).unwrap();
+        let w = res.waveform(0);
+        for &tt in &[1e-9, 2e-9, 4e-9] {
+            let analytic = 1.0 - (-tt / 1e-9_f64).exp();
+            assert!(
+                (w.value_at(tt) - analytic).abs() < 5e-3,
+                "t={tt}: {} vs {analytic}",
+                w.value_at(tt)
+            );
+        }
+    }
+
+    #[test]
+    fn coupled_glitch_appears_on_victim() {
+        // Aggressor and victim lines with coupling; victim held by a weak
+        // resistive driver.
+        let mut cl = RcCluster::new();
+        let agg: Vec<usize> = (0..8).map(|_| cl.add_node()).collect();
+        let vic: Vec<usize> = (0..8).map(|_| cl.add_node()).collect();
+        for w in agg.windows(2) {
+            cl.add_resistor(w[0], w[1], 60.0).unwrap();
+        }
+        for w in vic.windows(2) {
+            cl.add_resistor(w[0], w[1], 60.0).unwrap();
+        }
+        for i in 0..8 {
+            cl.add_ground_cap(agg[i], 2e-15).unwrap();
+            cl.add_ground_cap(vic[i], 2e-15).unwrap();
+            cl.add_capacitor(agg[i], vic[i], 4e-15).unwrap();
+        }
+        let pa = cl.add_port(agg[0]);
+        let pv = cl.add_port(vic[0]);
+        let pfar = cl.add_port(vic[7]);
+        let rom = reduce(&cl, 4).unwrap().diagonalize().unwrap();
+        let agg_drv =
+            TheveninTermination::new(300.0, SourceWave::step(0.0, 2.5, 0.5e-9, 0.2e-9));
+        let vic_drv = ResistiveTermination::new(2000.0);
+        let res = simulate(
+            &rom,
+            &[Some(&agg_drv), Some(&vic_drv), None],
+            6e-9,
+            &MorOptions::default(),
+        )
+        .unwrap();
+        let vw = res.waveform(pfar);
+        let (_, peak) = vw.peak_deviation(0.0);
+        assert!(peak > 0.05, "visible glitch expected, got {peak}");
+        assert!(peak < 2.5, "glitch bounded by vdd");
+        // Glitch decays back to ~0 through the holding driver.
+        assert!(vw.value_at(6e-9).abs() < 0.02);
+        let _ = (pa, pv);
+    }
+
+    #[test]
+    fn capacitive_termination_slows_charging() {
+        let cl = rc_line(5, 100.0, 1e-15);
+        let rom = reduce(&cl, 4).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+        let fast = simulate(&rom, &[Some(&drv), None], 5e-9, &MorOptions::default()).unwrap();
+        let big_load = CapacitiveTermination::new(200e-15);
+        let slow = simulate(
+            &rom,
+            &[Some(&drv), Some(&big_load)],
+            5e-9,
+            &MorOptions::default(),
+        )
+        .unwrap();
+        let t_fast = fast.waveform(1).crossing(0.5, true, 0.0).unwrap();
+        let t_slow = slow.waveform(1).crossing(0.5, true, 0.0).unwrap();
+        assert!(
+            t_slow > 2.0 * t_fast,
+            "load cap must slow the far end: {t_slow} vs {t_fast}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_termination_count() {
+        let cl = rc_line(3, 100.0, 1e-15);
+        let rom = reduce(&cl, 2).unwrap().diagonalize().unwrap();
+        let err = simulate(&rom, &[None], 1e-9, &MorOptions::default());
+        assert!(matches!(err, Err(MorError::InvalidIndex { .. })));
+        let err = simulate(&rom, &[None, None], -1.0, &MorOptions::default());
+        assert!(matches!(err, Err(MorError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn newton_counter_accumulates() {
+        let cl = rc_line(4, 100.0, 1e-15);
+        let rom = reduce(&cl, 3).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(500.0, SourceWave::step(0.0, 1.0, 0.1e-9, 0.1e-9));
+        let res = simulate(&rom, &[Some(&drv), None], 2e-9, &MorOptions::default()).unwrap();
+        assert!(res.steps > 10);
+        assert!(res.newton_iters >= res.steps);
+        assert_eq!(res.num_ports(), 2);
+        assert_eq!(res.times().len(), res.steps + 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cross-validation of the SyMPVL engine against the SPICE substrate on
+//! identical coupled clusters — the miniature version of the paper's
+//! Figure 3 experiment (MPVL vs SPICE crosstalk peaks).
+
+use pcv_mor::{simulate, sympvl, MorOptions, RcCluster};
+use pcv_netlist::termination::{ResistiveTermination, TheveninTermination};
+use pcv_netlist::{Circuit, NodeId, SourceWave};
+use pcv_spice::{SimOptions, Simulator};
+
+const VDD: f64 = 2.5;
+
+/// Build the same coupled two-line cluster in both representations.
+/// Returns (circuit, agg_drive_node, vic_drive_node, vic_far_node, cluster).
+fn build_pair(
+    segs: usize,
+    r_seg: f64,
+    cg: f64,
+    cc: f64,
+) -> (Circuit, NodeId, NodeId, NodeId, RcCluster) {
+    let mut ckt = Circuit::new();
+    let agg: Vec<NodeId> = (0..segs).map(|i| ckt.node(&format!("a{i}"))).collect();
+    let vic: Vec<NodeId> = (0..segs).map(|i| ckt.node(&format!("v{i}"))).collect();
+    for w in agg.windows(2) {
+        ckt.add_resistor(w[0], w[1], r_seg);
+    }
+    for w in vic.windows(2) {
+        ckt.add_resistor(w[0], w[1], r_seg);
+    }
+    for i in 0..segs {
+        ckt.add_capacitor(agg[i], Circuit::GROUND, cg);
+        ckt.add_capacitor(vic[i], Circuit::GROUND, cg);
+        ckt.add_capacitor(agg[i], vic[i], cc);
+    }
+
+    let mut cl = RcCluster::new();
+    let ca: Vec<usize> = (0..segs).map(|_| cl.add_node()).collect();
+    let cv: Vec<usize> = (0..segs).map(|_| cl.add_node()).collect();
+    for w in ca.windows(2) {
+        cl.add_resistor(w[0], w[1], r_seg).unwrap();
+    }
+    for w in cv.windows(2) {
+        cl.add_resistor(w[0], w[1], r_seg).unwrap();
+    }
+    for i in 0..segs {
+        cl.add_ground_cap(ca[i], cg).unwrap();
+        cl.add_ground_cap(cv[i], cg).unwrap();
+        cl.add_capacitor(ca[i], cv[i], cc).unwrap();
+    }
+    cl.add_port(ca[0]);
+    cl.add_port(cv[0]);
+    cl.add_port(cv[segs - 1]);
+    (ckt, agg[0], vic[0], vic[segs - 1], cl)
+}
+
+#[test]
+fn crosstalk_peak_matches_spice_with_linear_drivers() {
+    // The Figure 3 setup: linear 1 kΩ drive resistance everywhere.
+    let (ckt, agg0, vic0, vic_far, cl) = build_pair(10, 60.0, 3e-15, 5e-15);
+    let r_drive = 1000.0;
+    let tstop = 8e-9;
+    let agg_wave = SourceWave::step(0.0, VDD, 1e-9, 0.3e-9);
+
+    // SPICE reference: Thevenin drivers as R + V source.
+    let mut ckt = ckt;
+    let agg_src = ckt.node("agg_src");
+    ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
+    ckt.add_resistor(agg_src, agg0, r_drive);
+    ckt.add_resistor(vic0, Circuit::GROUND, r_drive); // victim held low
+    let spice = Simulator::new(&ckt)
+        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
+        .unwrap();
+    let (_, spice_peak) = spice.waveform(vic_far).peak_deviation(0.0);
+
+    // SyMPVL: same drivers as terminations on the reduced model.
+    let rom = sympvl::reduce(&cl, 4).unwrap().diagonalize().unwrap();
+    let agg_drv = TheveninTermination::new(r_drive, agg_wave);
+    let vic_drv = ResistiveTermination::new(r_drive);
+    let mor = simulate(
+        &rom,
+        &[Some(&agg_drv), Some(&vic_drv), None],
+        tstop,
+        &MorOptions::default(),
+    )
+    .unwrap();
+    let (_, mor_peak) = mor.waveform(2).peak_deviation(0.0);
+
+    assert!(spice_peak > 0.05, "test needs a visible glitch, got {spice_peak}");
+    let rel = (mor_peak - spice_peak).abs() / spice_peak.abs();
+    assert!(
+        rel < 0.02,
+        "MPVL peak {mor_peak} vs SPICE peak {spice_peak}: rel err {rel}"
+    );
+}
+
+#[test]
+fn full_waveform_agrees_not_just_peak() {
+    // Figure 4/5 in miniature: overlay the two waveforms.
+    let (ckt, agg0, vic0, vic_far, cl) = build_pair(8, 80.0, 2e-15, 6e-15);
+    let tstop = 6e-9;
+    let agg_wave = SourceWave::step(0.0, VDD, 0.8e-9, 0.2e-9);
+
+    let mut ckt = ckt;
+    let agg_src = ckt.node("agg_src");
+    ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
+    ckt.add_resistor(agg_src, agg0, 500.0);
+    ckt.add_resistor(vic0, Circuit::GROUND, 1500.0);
+    let spice = Simulator::new(&ckt)
+        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
+        .unwrap();
+    let sw = spice.waveform(vic_far);
+
+    let rom = sympvl::reduce(&cl, 5).unwrap().diagonalize().unwrap();
+    let agg_drv = TheveninTermination::new(500.0, agg_wave);
+    let vic_drv = ResistiveTermination::new(1500.0);
+    let mor = simulate(
+        &rom,
+        &[Some(&agg_drv), Some(&vic_drv), None],
+        tstop,
+        &MorOptions::default(),
+    )
+    .unwrap();
+    let mw = mor.waveform(2);
+
+    // Compare on a uniform grid; error normalized to the glitch peak.
+    let (_, peak) = sw.peak_deviation(0.0);
+    let mut worst = 0.0f64;
+    for k in 1..120 {
+        let t = tstop * k as f64 / 120.0;
+        worst = worst.max((sw.value_at(t) - mw.value_at(t)).abs());
+    }
+    assert!(
+        worst < 0.03 * peak.abs().max(0.05),
+        "waveforms diverge: worst {worst}, peak {peak}"
+    );
+}
+
+#[test]
+fn delay_with_coupling_matches_spice() {
+    // Table 2 in miniature: victim driven through the coupled interconnect
+    // while the aggressor switches opposite; measure the victim 50 % delay.
+    let (ckt, agg0, vic0, vic_far, cl) = build_pair(10, 70.0, 2.5e-15, 5e-15);
+    let tstop = 10e-9;
+    let vic_wave = SourceWave::step(0.0, VDD, 1e-9, 0.3e-9);
+    let agg_wave = SourceWave::step(VDD, 0.0, 1e-9, 0.3e-9); // opposite
+
+    let mut ckt = ckt;
+    let vs = ckt.node("vic_src");
+    let asrc = ckt.node("agg_src");
+    ckt.add_vsrc(vs, Circuit::GROUND, vic_wave.clone());
+    ckt.add_resistor(vs, vic0, 800.0);
+    ckt.add_vsrc(asrc, Circuit::GROUND, agg_wave.clone());
+    ckt.add_resistor(asrc, agg0, 400.0);
+    let spice = Simulator::new(&ckt)
+        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
+        .unwrap();
+    let t_spice = spice
+        .waveform(vic_far)
+        .crossing(0.5 * VDD, true, 0.0)
+        .expect("victim rises");
+
+    let rom = sympvl::reduce(&cl, 5).unwrap().diagonalize().unwrap();
+    let agg_drv = TheveninTermination::new(400.0, agg_wave);
+    let vic_drv = TheveninTermination::new(800.0, vic_wave);
+    let mor = simulate(
+        &rom,
+        &[Some(&agg_drv), Some(&vic_drv), None],
+        tstop,
+        &MorOptions::default(),
+    )
+    .unwrap();
+    let t_mor = mor.waveform(2).crossing(0.5 * VDD, true, 0.0).expect("victim rises");
+
+    let rel = (t_mor - t_spice).abs() / t_spice;
+    assert!(rel < 0.01, "50% crossing: MPVL {t_mor} vs SPICE {t_spice} ({rel})");
+}
+
+#[test]
+fn mor_uses_fewer_newton_iterations_than_spice() {
+    // The efficiency claim: on a biggish cluster the reduced model costs a
+    // tiny fraction of the full matrix solves (proxy: Newton iteration count
+    // times system size).
+    let (ckt, agg0, vic0, vic_far, cl) = build_pair(60, 30.0, 1.5e-15, 3e-15);
+    let tstop = 6e-9;
+    let agg_wave = SourceWave::step(0.0, VDD, 1e-9, 0.3e-9);
+
+    let mut ckt = ckt;
+    let agg_src = ckt.node("agg_src");
+    ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
+    ckt.add_resistor(agg_src, agg0, 1000.0);
+    ckt.add_resistor(vic0, Circuit::GROUND, 1000.0);
+    let spice = Simulator::new(&ckt)
+        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
+        .unwrap();
+
+    let rom = sympvl::reduce(&cl, 4).unwrap().diagonalize().unwrap();
+    let agg_drv = TheveninTermination::new(1000.0, agg_wave);
+    let vic_drv = ResistiveTermination::new(1000.0);
+    let mor = simulate(
+        &rom,
+        &[Some(&agg_drv), Some(&vic_drv), None],
+        tstop,
+        &MorOptions::default(),
+    )
+    .unwrap();
+
+    // Reduced model: order ≤ 12 vs 121 MNA unknowns, so per-iteration work
+    // differs by orders of magnitude; iteration counts stay comparable.
+    assert!(rom.order() <= 12);
+    assert!(mor.newton_iters < 3 * spice.newton_iters.max(1));
+    // And the answers still agree.
+    let (_, sp) = spice.waveform(vic_far).peak_deviation(0.0);
+    let (_, mp) = mor.waveform(2).peak_deviation(0.0);
+    assert!((sp - mp).abs() / sp.abs() < 0.03, "{sp} vs {mp}");
+}

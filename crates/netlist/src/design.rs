@@ -1,0 +1,299 @@
+//! Gate-level designs: cell instances, nets, and the annotations the
+//! crosstalk flow uses to reduce pessimism (switching windows, logic
+//! correlation, tri-state bus membership).
+
+use std::collections::HashMap;
+
+/// Identifier of a net inside a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Identifier of a cell instance inside a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub usize);
+
+/// A cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name.
+    pub name: String,
+    /// Library cell name (resolved against the cell library by consumers).
+    pub cell: String,
+    /// Input nets in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net, if the instance drives one.
+    pub output: Option<NetId>,
+    /// `true` for tri-state drivers (bus design style).
+    pub tristate: bool,
+}
+
+/// A switching window: the earliest and latest time (seconds) at which a net
+/// can transition within a clock cycle.
+pub type SwitchingWindow = (f64, f64);
+
+/// A gate-level design.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_netlist::Design;
+/// let mut d = Design::new("blk");
+/// let a = d.add_net("a");
+/// let z = d.add_net("z");
+/// d.add_instance("u1", "INVX4", vec![a], Some(z), false);
+/// assert_eq!(d.drivers_of(z).len(), 1);
+/// assert_eq!(d.loads_of(a).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    name: String,
+    net_names: Vec<String>,
+    net_by_name: HashMap<String, NetId>,
+    instances: Vec<Instance>,
+    drivers: Vec<Vec<InstanceId>>,
+    loads: Vec<Vec<(InstanceId, usize)>>,
+    windows: Vec<Option<SwitchingWindow>>,
+    complements: Vec<Option<NetId>>,
+    latch_inputs: Vec<bool>,
+}
+
+impl Design {
+    /// Create an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Design { name: name.into(), ..Design::default() }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a net; names must be unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = NetId(self.net_names.len());
+        let prev = self.net_by_name.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate net name {name:?}");
+        self.net_names.push(name);
+        self.drivers.push(Vec::new());
+        self.loads.push(Vec::new());
+        self.windows.push(None);
+        self.complements.push(None);
+        self.latch_inputs.push(false);
+        id
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Net name.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.0]
+    }
+
+    /// Look up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_by_name.get(name).copied()
+    }
+
+    /// Add an instance; driver/load maps are updated.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        cell: impl Into<String>,
+        inputs: Vec<NetId>,
+        output: Option<NetId>,
+        tristate: bool,
+    ) -> InstanceId {
+        let id = InstanceId(self.instances.len());
+        if let Some(out) = output {
+            self.drivers[out.0].push(id);
+        }
+        for (pin, inp) in inputs.iter().enumerate() {
+            self.loads[inp.0].push((id, pin));
+        }
+        self.instances.push(Instance {
+            name: name.into(),
+            cell: cell.into(),
+            inputs,
+            output,
+            tristate,
+        });
+        id
+    }
+
+    /// Number of instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Access an instance.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.0]
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Instances driving a net (more than one for tri-state buses).
+    pub fn drivers_of(&self, net: NetId) -> &[InstanceId] {
+        &self.drivers[net.0]
+    }
+
+    /// `(instance, input_pin_index)` pairs loading a net.
+    pub fn loads_of(&self, net: NetId) -> &[(InstanceId, usize)] {
+        &self.loads[net.0]
+    }
+
+    /// Set a net's switching window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn set_window(&mut self, net: NetId, min: f64, max: f64) {
+        assert!(min <= max, "window min must not exceed max");
+        self.windows[net.0] = Some((min, max));
+    }
+
+    /// A net's switching window, if annotated.
+    pub fn window(&self, net: NetId) -> Option<SwitchingWindow> {
+        self.windows[net.0]
+    }
+
+    /// Declare two nets logically complementary (e.g. flip-flop Q/QB):
+    /// they never switch in the same direction simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn set_complementary(&mut self, a: NetId, b: NetId) {
+        assert_ne!(a, b, "a net cannot complement itself");
+        self.complements[a.0] = Some(b);
+        self.complements[b.0] = Some(a);
+    }
+
+    /// The complementary net, if declared.
+    pub fn complement_of(&self, net: NetId) -> Option<NetId> {
+        self.complements[net.0]
+    }
+
+    /// Mark a net as a latch/flip-flop data input (a verification hot spot:
+    /// glitches here can be captured as wrong state).
+    pub fn mark_latch_input(&mut self, net: NetId) {
+        self.latch_inputs[net.0] = true;
+    }
+
+    /// `true` if the net feeds a latch/flip-flop data pin.
+    pub fn is_latch_input(&self, net: NetId) -> bool {
+        self.latch_inputs[net.0]
+    }
+
+    /// All latch-input nets.
+    pub fn latch_input_nets(&self) -> Vec<NetId> {
+        (0..self.num_nets()).map(NetId).filter(|&n| self.latch_inputs[n.0]).collect()
+    }
+
+    /// `true` if the net is a bus (driven by more than one tri-state driver).
+    pub fn is_bus(&self, net: NetId) -> bool {
+        self.drivers[net.0].len() > 1
+            && self.drivers[net.0]
+                .iter()
+                .all(|&i| self.instances[i.0].tristate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Design, NetId, NetId, NetId) {
+        let mut d = Design::new("t");
+        let a = d.add_net("a");
+        let z = d.add_net("z");
+        let q = d.add_net("q");
+        d.add_instance("u1", "INVX2", vec![a], Some(z), false);
+        d.add_instance("u2", "BUFX4", vec![z], Some(q), false);
+        (d, a, z, q)
+    }
+
+    #[test]
+    fn driver_and_load_maps() {
+        let (d, a, z, q) = sample();
+        assert_eq!(d.drivers_of(a), &[]);
+        assert_eq!(d.drivers_of(z).len(), 1);
+        assert_eq!(d.loads_of(z), &[(InstanceId(1), 0)]);
+        assert_eq!(d.loads_of(q), &[]);
+        assert_eq!(d.num_instances(), 2);
+        assert_eq!(d.instance(InstanceId(0)).cell, "INVX2");
+    }
+
+    #[test]
+    fn windows() {
+        let (mut d, a, _, _) = sample();
+        assert_eq!(d.window(a), None);
+        d.set_window(a, 1e-9, 2e-9);
+        assert_eq!(d.window(a), Some((1e-9, 2e-9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window min")]
+    fn bad_window_rejected() {
+        let (mut d, a, _, _) = sample();
+        d.set_window(a, 2e-9, 1e-9);
+    }
+
+    #[test]
+    fn complements_are_symmetric() {
+        let (mut d, a, z, _) = sample();
+        d.set_complementary(a, z);
+        assert_eq!(d.complement_of(a), Some(z));
+        assert_eq!(d.complement_of(z), Some(a));
+    }
+
+    #[test]
+    fn latch_inputs() {
+        let (mut d, _, z, q) = sample();
+        assert!(!d.is_latch_input(z));
+        d.mark_latch_input(q);
+        assert!(d.is_latch_input(q));
+        assert_eq!(d.latch_input_nets(), vec![q]);
+    }
+
+    #[test]
+    fn bus_detection_requires_multiple_tristate_drivers() {
+        let mut d = Design::new("bus");
+        let b = d.add_net("bus0");
+        let i0 = d.add_net("i0");
+        let i1 = d.add_net("i1");
+        d.add_instance("t0", "TBUFX4", vec![i0], Some(b), true);
+        assert!(!d.is_bus(b));
+        d.add_instance("t1", "TBUFX8", vec![i1], Some(b), true);
+        assert!(d.is_bus(b));
+    }
+
+    #[test]
+    fn net_lookup() {
+        let (d, a, _, _) = sample();
+        assert_eq!(d.find_net("a"), Some(a));
+        assert_eq!(d.find_net("nope"), None);
+        assert_eq!(d.net_name(a), "a");
+        assert_eq!(d.num_nets(), 3);
+        assert_eq!(d.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate net name")]
+    fn duplicate_net_rejected() {
+        let mut d = Design::new("t");
+        d.add_net("a");
+        d.add_net("a");
+    }
+}

@@ -1,0 +1,294 @@
+//! SPEF-lite: a compact text exchange format for [`ParasiticDb`].
+//!
+//! Real extraction flows hand parasitics to verification through SPEF; this
+//! module provides the same decoupling for PCV with a deliberately small
+//! grammar:
+//!
+//! ```text
+//! *SPEF pcv-lite 1.0
+//! *NET <name> <num_nodes>
+//! *LOAD <node>
+//! *R <node_a> <node_b> <ohms>
+//! *GC <node> <farads>
+//! *END
+//! *CC <net_a> <node_a> <net_b> <node_b> <farads>
+//! ```
+
+use crate::parasitics::{NetNodeRef, NetParasitics, ParasiticDb};
+use std::fmt;
+
+/// Errors produced while parsing SPEF-lite text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpefError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spef parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpefError {}
+
+/// Serialize a parasitic database to SPEF-lite text.
+pub fn write_spef(db: &ParasiticDb) -> String {
+    let mut out = String::from("*SPEF pcv-lite 1.0\n");
+    for (_, net) in db.iter() {
+        out.push_str(&format!("*NET {} {}\n", net.name(), net.num_nodes()));
+        for &n in net.load_nodes() {
+            out.push_str(&format!("*LOAD {n}\n"));
+        }
+        for &(a, b, r) in net.resistors() {
+            out.push_str(&format!("*R {a} {b} {r:e}\n"));
+        }
+        for &(n, c) in net.ground_caps() {
+            out.push_str(&format!("*GC {n} {c:e}\n"));
+        }
+        out.push_str("*END\n");
+    }
+    for c in db.couplings() {
+        out.push_str(&format!(
+            "*CC {} {} {} {} {:e}\n",
+            db.net(c.a.net).name(),
+            c.a.node,
+            db.net(c.b.net).name(),
+            c.b.node,
+            c.farads
+        ));
+    }
+    out
+}
+
+/// Parse SPEF-lite text into a parasitic database.
+///
+/// # Errors
+///
+/// Returns [`ParseSpefError`] with a line number on any malformed record,
+/// unknown net reference, or out-of-range node.
+pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
+    let mut db = ParasiticDb::new();
+    let mut current: Option<NetParasitics> = None;
+    let err = |line: usize, message: &str| ParseSpefError { line, message: message.to_owned() };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "*SPEF" => {}
+            "*NET" => {
+                if current.is_some() {
+                    return Err(err(line, "*NET before previous *END"));
+                }
+                if rest.len() != 2 {
+                    return Err(err(line, "*NET needs <name> <num_nodes>"));
+                }
+                let n: usize = rest[1]
+                    .parse()
+                    .map_err(|_| err(line, "invalid node count"))?;
+                if n == 0 {
+                    return Err(err(line, "net needs at least the driver node"));
+                }
+                let mut net = NetParasitics::new(rest[0]);
+                for _ in 1..n {
+                    net.add_node();
+                }
+                current = Some(net);
+            }
+            "*LOAD" | "*R" | "*GC" => {
+                let net = current
+                    .as_mut()
+                    .ok_or_else(|| err(line, "record outside *NET block"))?;
+                let parse_usize = |s: &str| -> Result<usize, ParseSpefError> {
+                    s.parse().map_err(|_| err(line, "invalid node index"))
+                };
+                let parse_f64 = |s: &str| -> Result<f64, ParseSpefError> {
+                    s.parse().map_err(|_| err(line, "invalid numeric value"))
+                };
+                match keyword {
+                    "*LOAD" => {
+                        if rest.len() != 1 {
+                            return Err(err(line, "*LOAD needs <node>"));
+                        }
+                        let n = parse_usize(rest[0])?;
+                        if n >= net.num_nodes() {
+                            return Err(err(line, "load node out of range"));
+                        }
+                        net.mark_load(n);
+                    }
+                    "*R" => {
+                        if rest.len() != 3 {
+                            return Err(err(line, "*R needs <a> <b> <ohms>"));
+                        }
+                        let a = parse_usize(rest[0])?;
+                        let b = parse_usize(rest[1])?;
+                        let r = parse_f64(rest[2])?;
+                        if a >= net.num_nodes() || b >= net.num_nodes() {
+                            return Err(err(line, "resistor node out of range"));
+                        }
+                        if !(r > 0.0) || !r.is_finite() {
+                            return Err(err(line, "resistance must be positive"));
+                        }
+                        net.add_resistor(a, b, r);
+                    }
+                    _ => {
+                        if rest.len() != 2 {
+                            return Err(err(line, "*GC needs <node> <farads>"));
+                        }
+                        let n = parse_usize(rest[0])?;
+                        let c = parse_f64(rest[1])?;
+                        if n >= net.num_nodes() {
+                            return Err(err(line, "cap node out of range"));
+                        }
+                        if c < 0.0 || !c.is_finite() {
+                            return Err(err(line, "capacitance must be non-negative"));
+                        }
+                        net.add_ground_cap(n, c);
+                    }
+                }
+            }
+            "*END" => {
+                let net = current
+                    .take()
+                    .ok_or_else(|| err(line, "*END without *NET"))?;
+                if db.find_net(net.name()).is_some() {
+                    return Err(err(line, "duplicate net name"));
+                }
+                db.add_net(net);
+            }
+            "*CC" => {
+                if current.is_some() {
+                    return Err(err(line, "*CC inside *NET block"));
+                }
+                if rest.len() != 5 {
+                    return Err(err(line, "*CC needs <net_a> <node_a> <net_b> <node_b> <farads>"));
+                }
+                let na = db
+                    .find_net(rest[0])
+                    .ok_or_else(|| err(line, "unknown net in *CC"))?;
+                let a: usize = rest[1].parse().map_err(|_| err(line, "invalid node index"))?;
+                let nb = db
+                    .find_net(rest[2])
+                    .ok_or_else(|| err(line, "unknown net in *CC"))?;
+                let b: usize = rest[3].parse().map_err(|_| err(line, "invalid node index"))?;
+                let c: f64 = rest[4].parse().map_err(|_| err(line, "invalid numeric value"))?;
+                if na == nb {
+                    return Err(err(line, "coupling endpoints must differ"));
+                }
+                if a >= db.net(na).num_nodes() || b >= db.net(nb).num_nodes() {
+                    return Err(err(line, "coupling node out of range"));
+                }
+                if c < 0.0 || !c.is_finite() {
+                    return Err(err(line, "capacitance must be non-negative"));
+                }
+                db.add_coupling(
+                    NetNodeRef { net: na, node: a },
+                    NetNodeRef { net: nb, node: b },
+                    c,
+                );
+            }
+            other => return Err(err(line, &format!("unknown record {other:?}"))),
+        }
+    }
+    if current.is_some() {
+        return Err(ParseSpefError { line: text.lines().count(), message: "unterminated *NET block".into() });
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> ParasiticDb {
+        let mut db = ParasiticDb::new();
+        let mut a = NetParasitics::new("alpha");
+        let a1 = a.add_node();
+        let a2 = a.add_node();
+        a.add_resistor(0, a1, 120.0);
+        a.add_resistor(a1, a2, 60.0);
+        a.add_ground_cap(a1, 2.5e-15);
+        a.add_ground_cap(a2, 1.5e-15);
+        a.mark_load(a2);
+        let aid = db.add_net(a);
+        let mut b = NetParasitics::new("beta");
+        let b1 = b.add_node();
+        b.add_resistor(0, b1, 200.0);
+        b.add_ground_cap(b1, 3e-15);
+        let bid = db.add_net(b);
+        db.add_coupling(
+            NetNodeRef { net: aid, node: 1 },
+            NetNodeRef { net: bid, node: 1 },
+            4e-15,
+        );
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let text = write_spef(&db);
+        let db2 = parse_spef(&text).unwrap();
+        assert_eq!(db2.num_nets(), 2);
+        let a = db2.find_net("alpha").unwrap();
+        let b = db2.find_net("beta").unwrap();
+        assert_eq!(db2.net(a).num_nodes(), 3);
+        assert_eq!(db2.net(a).load_nodes(), &[2]);
+        assert!((db2.net(a).total_resistance() - 180.0).abs() < 1e-9);
+        assert!((db2.net(a).total_ground_cap() - 4e-15).abs() < 1e-28);
+        assert!((db2.total_coupling_cap(b) - 4e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n// a comment\n*NET x 1\n*END\n";
+        let db = parse_spef(text).unwrap();
+        assert_eq!(db.num_nets(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "*NET x 1\n*R 0 5 10.0\n*END\n";
+        let e = parse_spef(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        assert!(parse_spef("*BOGUS 1 2\n").is_err());
+    }
+
+    #[test]
+    fn cc_requires_known_nets() {
+        let text = "*NET a 1\n*END\n*CC a 0 zz 0 1e-15\n";
+        let e = parse_spef(text).unwrap_err();
+        assert!(e.message.contains("unknown net"));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(parse_spef("*NET a 2\n*GC 1 1e-15\n").is_err());
+    }
+
+    #[test]
+    fn nested_net_rejected() {
+        let e = parse_spef("*NET a 1\n*NET b 1\n").unwrap_err();
+        assert!(e.message.contains("*END"));
+    }
+
+    #[test]
+    fn negative_values_rejected() {
+        assert!(parse_spef("*NET a 2\n*R 0 1 -5\n*END\n").is_err());
+        assert!(parse_spef("*NET a 2\n*GC 1 -1e-15\n*END\n").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Nonlinear one-port terminations.
+//!
+//! The SyMPVL methodology attaches a *nonlinear driver model* `i_x(v_x)` to
+//! the reduced linear interconnect; the SPICE substrate stamps the same
+//! models directly into MNA. This trait is the shared contract: a device
+//! hanging off one node, characterized by the current it draws as a function
+//! of the node voltage and time.
+
+use std::fmt;
+
+/// A nonlinear (or linear) one-port device attached to a single node.
+///
+/// Implementations include the Thevenin (linear-resistor) driver model and
+/// the pre-characterized nonlinear cell model from `pcv-cells`.
+pub trait Termination: fmt::Debug {
+    /// Current drawn *from* the node *into* the device at time `t` when the
+    /// node voltage is `v`, together with its derivative `di/dv`.
+    ///
+    /// A positive current discharges the node.
+    fn eval(&self, t: f64, v: f64) -> (f64, f64);
+
+    /// Effective linear capacitance the device adds at the node (farads).
+    fn capacitance(&self) -> f64 {
+        0.0
+    }
+
+    /// Hint for transient breakpoint placement: times at which the device's
+    /// internal stimulus has corners.
+    fn breakpoints(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// A grounded linear resistor as a termination: `i = v / ohms`.
+#[derive(Debug, Clone)]
+pub struct ResistiveTermination {
+    ohms: f64,
+}
+
+impl ResistiveTermination {
+    /// Create a resistive termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ohms` is positive and finite.
+    pub fn new(ohms: f64) -> Self {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        ResistiveTermination { ohms }
+    }
+
+    /// The resistance in ohms.
+    pub fn ohms(&self) -> f64 {
+        self.ohms
+    }
+}
+
+impl Termination for ResistiveTermination {
+    fn eval(&self, _t: f64, v: f64) -> (f64, f64) {
+        (v / self.ohms, 1.0 / self.ohms)
+    }
+}
+
+/// A Thevenin driver: voltage source `e(t)` behind a series resistance, as a
+/// termination: `i = (v - e(t)) / ohms`.
+///
+/// This is the *timing-library based linear driver model* of the paper
+/// (Section 4.1): the source waveform comes from the library's slew data and
+/// the resistance from its delay-vs-load characterization.
+#[derive(Debug, Clone)]
+pub struct TheveninTermination {
+    ohms: f64,
+    wave: crate::wave::SourceWave,
+}
+
+impl TheveninTermination {
+    /// Create a Thevenin termination from a series resistance and an
+    /// open-circuit voltage waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ohms` is positive and finite.
+    pub fn new(ohms: f64, wave: crate::wave::SourceWave) -> Self {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        TheveninTermination { ohms, wave }
+    }
+
+    /// The series resistance in ohms.
+    pub fn ohms(&self) -> f64 {
+        self.ohms
+    }
+
+    /// The open-circuit voltage waveform.
+    pub fn wave(&self) -> &crate::wave::SourceWave {
+        &self.wave
+    }
+}
+
+impl Termination for TheveninTermination {
+    fn eval(&self, t: f64, v: f64) -> (f64, f64) {
+        ((v - self.wave.value_at(t)) / self.ohms, 1.0 / self.ohms)
+    }
+
+    fn breakpoints(&self) -> Vec<f64> {
+        self.wave.breakpoints()
+    }
+}
+
+/// A pure capacitive load (e.g. a receiver input pin).
+#[derive(Debug, Clone)]
+pub struct CapacitiveTermination {
+    farads: f64,
+}
+
+impl CapacitiveTermination {
+    /// Create a capacitive termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or not finite.
+    pub fn new(farads: f64) -> Self {
+        assert!(farads >= 0.0 && farads.is_finite(), "capacitance must be non-negative");
+        CapacitiveTermination { farads }
+    }
+}
+
+impl Termination for CapacitiveTermination {
+    fn eval(&self, _t: f64, _v: f64) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    fn capacitance(&self) -> f64 {
+        self.farads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+
+    #[test]
+    fn resistive_termination_is_ohmic() {
+        let r = ResistiveTermination::new(1000.0);
+        let (i, g) = r.eval(0.0, 2.0);
+        assert!((i - 0.002).abs() < 1e-15);
+        assert!((g - 0.001).abs() < 1e-15);
+        assert_eq!(r.capacitance(), 0.0);
+        assert_eq!(r.ohms(), 1000.0);
+    }
+
+    #[test]
+    fn thevenin_tracks_source() {
+        let t = TheveninTermination::new(500.0, SourceWave::step(0.0, 2.5, 1e-9, 1e-10));
+        // Before the edge: e = 0, so i = v/R.
+        let (i0, g0) = t.eval(0.0, 1.0);
+        assert!((i0 - 0.002).abs() < 1e-12);
+        assert!((g0 - 0.002).abs() < 1e-12);
+        // Long after the edge: e = 2.5.
+        let (i1, _) = t.eval(1e-6, 2.5);
+        assert!(i1.abs() < 1e-12);
+        assert!(!t.breakpoints().is_empty());
+    }
+
+    #[test]
+    fn capacitive_termination_draws_no_dc_current() {
+        let c = CapacitiveTermination::new(5e-15);
+        assert_eq!(c.eval(0.0, 3.0), (0.0, 0.0));
+        assert_eq!(c.capacitance(), 5e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn resistive_rejects_zero() {
+        ResistiveTermination::new(0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Time-domain stimulus waveforms for independent sources.
+
+/// A source waveform: the value of an independent voltage or current source
+/// as a function of time.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_netlist::SourceWave;
+/// let w = SourceWave::step(0.0, 3.0, 1e-9, 0.2e-9);
+/// assert_eq!(w.value_at(0.0), 0.0);
+/// assert!((w.value_at(1.1e-9) - 1.5).abs() < 1e-9);
+/// assert_eq!(w.value_at(5e-9), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (0 treated as 1 fs).
+        rise: f64,
+        /// Fall time (0 treated as 1 fs).
+        fall: f64,
+        /// Pulse width at `v1`.
+        width: f64,
+        /// Period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform as `(time, value)` breakpoints sorted by
+    /// time; constant extrapolation outside the range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+const MIN_EDGE: f64 = 1e-15;
+
+impl SourceWave {
+    /// A single rising (or falling) step: `v0` until `delay`, ramping
+    /// linearly to `v1` over `rise`.
+    pub fn step(v0: f64, v1: f64, delay: f64, rise: f64) -> Self {
+        SourceWave::Pwl(vec![(delay, v0), (delay + rise.max(MIN_EDGE), v1)])
+    }
+
+    /// Evaluate the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pulse { v0, v1, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            SourceWave::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                // Binary search for the enclosing segment.
+                let idx = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                if t1 <= t0 {
+                    return v1;
+                }
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// Earliest time at which the waveform can change (used to pick
+    /// breakpoints for the transient integrator). `None` for DC.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        match self {
+            SourceWave::Dc(_) => Vec::new(),
+            SourceWave::Pulse { delay, rise, fall, width, period, .. } => {
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut pts = vec![
+                    *delay,
+                    delay + rise,
+                    delay + rise + width,
+                    delay + rise + width + fall,
+                ];
+                if period.is_finite() && *period > 0.0 {
+                    let base = pts.clone();
+                    for k in 1..4 {
+                        pts.extend(base.iter().map(|p| p + k as f64 * period));
+                    }
+                }
+                pts
+            }
+            SourceWave::Pwl(points) => points.iter().map(|&(t, _)| t).collect(),
+        }
+    }
+
+    /// The DC (t → -∞ / t = 0⁻) value, used for the operating point.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pulse { v0, .. } => *v0,
+            SourceWave::Pwl(points) => points.first().map_or(0.0, |&(_, v)| v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::Dc(2.5);
+        assert_eq!(w.value_at(0.0), 2.5);
+        assert_eq!(w.value_at(1.0), 2.5);
+        assert_eq!(w.dc_value(), 2.5);
+        assert!(w.breakpoints().is_empty());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 3.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 2.0,
+            width: 3.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value_at(0.5), 0.0);
+        assert_eq!(w.value_at(1.5), 1.5); // mid-rise
+        assert_eq!(w.value_at(3.0), 3.0); // plateau
+        assert_eq!(w.value_at(6.0), 1.5); // mid-fall
+        assert_eq!(w.value_at(10.0), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let w = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((w.value_at(0.2) - 1.0).abs() < 1e-12);
+        assert!((w.value_at(1.2) - 1.0).abs() < 1e-12);
+        assert!((w.value_at(2.7) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(1.0, 0.0), (2.0, 2.0), (4.0, -2.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(1.5), 1.0);
+        assert_eq!(w.value_at(3.0), 0.0);
+        assert_eq!(w.value_at(9.0), -2.0);
+        assert_eq!(w.dc_value(), 0.0);
+        assert_eq!(w.breakpoints(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = SourceWave::Pwl(vec![]);
+        assert_eq!(w.value_at(1.0), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn step_constructor() {
+        let w = SourceWave::step(3.0, 0.0, 2e-9, 0.5e-9);
+        assert_eq!(w.value_at(0.0), 3.0);
+        assert!((w.value_at(2.25e-9) - 1.5).abs() < 1e-9);
+        assert_eq!(w.value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_rise_does_not_divide_by_zero() {
+        let w = SourceWave::step(0.0, 1.0, 0.0, 0.0);
+        assert!(w.value_at(1e-12).is_finite());
+        assert_eq!(w.value_at(1e-9), 1.0);
+    }
+}

@@ -1,0 +1,723 @@
+//! Row-major dense matrices with the factorizations needed by reduced-order
+//! models: LU with partial pivoting and Householder QR.
+//!
+//! Reduced models produced by SyMPVL are small (tens of states), so a simple,
+//! cache-friendly dense kernel is both sufficient and easy to verify.
+
+use crate::error::Error;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_sparse::Dense;
+/// let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Create an `nrows x ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Create the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Dense::zeros(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Create a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut m = Dense::zeros(nrows, ncols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "from_rows: ragged rows");
+            m.row_mut(r).copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Create a square diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Dense::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// A mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.nrows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Set column `c` from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != nrows`.
+    pub fn set_col(&mut self, c: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.nrows, "set_col: length mismatch");
+        for (r, &val) in v.iter().enumerate() {
+            self[(r, c)] = val;
+        }
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Dense {
+        Dense::from_fn(self.ncols, self.nrows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        (0..self.nrows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            for (c, yc) in y.iter_mut().enumerate() {
+                *yc += self[(r, c)] * xr;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if inner dimensions disagree.
+    pub fn matmul(&self, b: &Dense) -> Result<Dense, Error> {
+        if self.ncols != b.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "matmul",
+                expected: (self.ncols, b.ncols),
+                found: (b.nrows, b.ncols),
+            });
+        }
+        let mut out = Dense::zeros(self.nrows, b.ncols);
+        for r in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(r, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for c in 0..b.ncols {
+                    out[(r, c)] += aik * b[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Symmetrize in place: `A ← (A + Aᵀ)/2`. Useful to remove rounding
+    /// asymmetry before an eigendecomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.nrows, self.ncols, "symmetrize: square required");
+        for r in 0..self.nrows {
+            for c in (r + 1)..self.ncols {
+                let avg = 0.5 * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+    }
+
+    /// LU-factorize (with partial pivoting) and solve `A x = b` for a single
+    /// right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotSquare`], [`Error::DimensionMismatch`] or
+    /// [`Error::Singular`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, Error> {
+        let lu = DenseLu::factor(self.clone())?;
+        if b.len() != lu.n {
+            return Err(Error::DimensionMismatch {
+                op: "solve",
+                expected: (lu.n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        Ok(lu.solve(b))
+    }
+}
+
+impl Index<(usize, usize)> for Dense {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Dense {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+impl fmt::Display for Dense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                write!(f, "{:>12.4e} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// An LU factorization with partial pivoting of a square dense matrix.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_sparse::dense::{Dense, DenseLu};
+/// # fn main() -> Result<(), pcv_sparse::Error> {
+/// let a = Dense::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]);
+/// let lu = DenseLu::factor(a)?;
+/// let x = lu.solve(&[2.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Dense,
+    /// Row permutation: `perm[k]` is the original row in pivot position `k`.
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factor a square matrix, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotSquare`] if the matrix is rectangular, or
+    /// [`Error::Singular`] if no usable pivot exists in some column.
+    pub fn factor(mut a: Dense) -> Result<Self, Error> {
+        if a.nrows != a.ncols {
+            return Err(Error::NotSquare { nrows: a.nrows, ncols: a.ncols });
+        }
+        let n = a.nrows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: pick the largest entry on or below diagonal.
+            let mut piv_row = k;
+            let mut piv_val = a[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = a[(r, k)].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val == 0.0 {
+                return Err(Error::Singular { col: k });
+            }
+            if piv_row != k {
+                perm.swap(k, piv_row);
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(piv_row, c)];
+                    a[(piv_row, c)] = tmp;
+                }
+            }
+            let pivot = a[(k, k)];
+            for r in (k + 1)..n {
+                let m = a[(r, k)] / pivot;
+                a[(r, k)] = m;
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        let upd = m * a[(k, c)];
+                        a[(r, c)] -= upd;
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { n, lu: a, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve: length mismatch");
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..self.n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = sum;
+        }
+        for r in (0..self.n).rev() {
+            let mut sum = x[r];
+            for c in (r + 1)..self.n {
+                sum -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = sum / self.lu[(r, r)];
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix (product of pivots with sign).
+    pub fn det(&self) -> f64 {
+        // Count permutation parity.
+        let mut seen = vec![false; self.n];
+        let mut swaps = 0usize;
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0usize;
+            let mut j = start;
+            while !seen[j] {
+                seen[j] = true;
+                j = self.perm[j];
+                len += 1;
+            }
+            swaps += len - 1;
+        }
+        let sign = if swaps % 2 == 0 { 1.0 } else { -1.0 };
+        sign * (0..self.n).map(|k| self.lu[(k, k)]).product::<f64>()
+    }
+}
+
+/// A dense Cholesky factorization `A = L Lᵀ` of a small SPD matrix, used to
+/// re-symmetrize PRIMA-projected pencils.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_sparse::dense::{Dense, DenseCholesky};
+/// # fn main() -> Result<(), pcv_sparse::Error> {
+/// let a = Dense::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = DenseCholesky::factor(&a)?;
+/// let x = chol.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseCholesky {
+    n: usize,
+    /// Lower-triangular factor (upper part zeroed).
+    l: Dense,
+}
+
+impl DenseCholesky {
+    /// Factor a symmetric positive definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotSquare`] or [`Error::NotPositiveDefinite`].
+    pub fn factor(a: &Dense) -> Result<Self, Error> {
+        if a.nrows() != a.ncols() {
+            return Err(Error::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let mut l = Dense::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(Error::NotPositiveDefinite { col: j, pivot: d });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(DenseCholesky { n, l })
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Dense {
+        &self.l
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_lower_in_place(&mut x);
+        self.solve_lower_t_in_place(&mut x);
+        x
+    }
+
+    /// Forward substitution `L y = b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn solve_lower_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "solve_lower: length mismatch");
+        for i in 0..self.n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Backward substitution `Lᵀ x = b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn solve_lower_t_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "solve_lower_t: length mismatch");
+        for i in (0..self.n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..self.n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+    }
+}
+
+/// A thin Householder QR factorization (`A = Q R` with `Q` having orthonormal
+/// columns), used to orthonormalize Lanczos blocks.
+#[derive(Debug, Clone)]
+pub struct DenseQr {
+    /// Orthonormal basis of the column space (`m x k`, `k = rank cols kept`).
+    pub q: Dense,
+    /// Upper-triangular factor (`k x n`).
+    pub r: Dense,
+}
+
+impl DenseQr {
+    /// Factor an `m x n` matrix with `m >= n` using modified Gram–Schmidt
+    /// with one reorthogonalization pass (numerically robust for the small,
+    /// well-conditioned blocks that arise in block Lanczos).
+    ///
+    /// Columns whose residual norm falls below `tol * original_norm` are
+    /// replaced by zero columns in `Q` and flagged by a zero diagonal in `R`;
+    /// callers detect block breakdown through [`DenseQr::rank`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `m < n`.
+    pub fn factor(a: &Dense, tol: f64) -> Result<Self, Error> {
+        let (m, n) = (a.nrows, a.ncols);
+        if m < n {
+            return Err(Error::DimensionMismatch {
+                op: "qr (m >= n required)",
+                expected: (n, n),
+                found: (m, n),
+            });
+        }
+        let mut q = a.clone();
+        let mut r = Dense::zeros(n, n);
+        for j in 0..n {
+            let mut v = q.col(j);
+            let orig_norm = crate::vecops::norm2(&v);
+            // Two passes of Gram–Schmidt against previous columns.
+            for _pass in 0..2 {
+                for i in 0..j {
+                    let qi = q.col(i);
+                    let proj = crate::vecops::dot(&qi, &v);
+                    r[(i, j)] += proj;
+                    crate::vecops::axpy(-proj, &qi, &mut v);
+                }
+            }
+            let nrm = crate::vecops::norm2(&v);
+            if nrm <= tol * orig_norm.max(1e-300) {
+                // Deflated (linearly dependent) column.
+                r[(j, j)] = 0.0;
+                q.set_col(j, &vec![0.0; m]);
+            } else {
+                r[(j, j)] = nrm;
+                crate::vecops::scale(1.0 / nrm, &mut v);
+                q.set_col(j, &v);
+            }
+        }
+        Ok(DenseQr { q, r })
+    }
+
+    /// Number of independent columns found (non-zero diagonal entries of R).
+    pub fn rank(&self) -> usize {
+        (0..self.r.ncols()).filter(|&j| self.r[(j, j)] != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn constructors_and_indexing() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 2);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(Dense::identity(3)[(2, 2)], 1.0);
+        assert_eq!(Dense::from_diag(&[5.0, 6.0])[(1, 1)], 6.0);
+        assert_eq!(Dense::from_fn(2, 2, |r, c| (r + c) as f64)[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn transpose_and_products() {
+        let a = Dense::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.nrows(), 3);
+        assert_eq!(at[(2, 1)], 6.0);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        let aat = a.matmul(&at).unwrap();
+        assert_eq!(aat[(0, 0)], 14.0);
+        assert_eq!(aat[(1, 0)], 32.0);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn lu_solves_random_system() {
+        let a = Dense::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, -6.0, 0.0],
+            &[-2.0, 7.0, 2.0],
+        ]);
+        let xref = [1.0, -2.0, 3.0];
+        let b = a.matvec(&xref);
+        let x = a.solve(&b).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert_close(*xi, *ri, 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_pivots_on_zero_diagonal() {
+        let a = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-15);
+        assert_close(x[1], 2.0, 1e-15);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.solve(&[1.0, 1.0]), Err(Error::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_det_tracks_sign() {
+        let a = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = DenseLu::factor(a).unwrap();
+        assert_close(lu.det(), -1.0, 1e-15);
+        let b = Dense::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        assert_close(DenseLu::factor(b).unwrap().det(), 6.0, 1e-15);
+    }
+
+    #[test]
+    fn qr_orthonormalizes() {
+        let a = Dense::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let qr = DenseQr::factor(&a, 1e-12).unwrap();
+        assert_eq!(qr.rank(), 2);
+        // QᵀQ = I
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(qtq[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-12);
+            }
+        }
+        // QR = A
+        let qr_prod = qr.q.matmul(&qr.r).unwrap();
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_close(qr_prod[(r, c)], a[(r, c)], 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_flags_dependent_columns() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let qr = DenseQr::factor(&a, 1e-10).unwrap();
+        assert_eq!(qr.rank(), 1);
+        assert_eq!(qr.r[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let mut a = Dense::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        a.symmetrize();
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn dense_cholesky_reconstructs_and_solves() {
+        let a = Dense::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.2],
+            &[0.5, -0.2, 2.0],
+        ]);
+        let chol = DenseCholesky::factor(&a).unwrap();
+        let l = chol.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_close(llt[(r, c)], a[(r, c)], 1e-12);
+            }
+        }
+        let xref = [1.0, -2.0, 0.5];
+        let b = a.matvec(&xref);
+        let x = chol.solve(&b);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert_close(*xi, *ri, 1e-12);
+        }
+        assert_eq!(chol.dim(), 3);
+        // Triangular halves invert each other.
+        let mut v = vec![1.0, 2.0, 3.0];
+        let orig = v.clone();
+        let fwd = l.matvec(&v);
+        v.copy_from_slice(&fwd);
+        chol.solve_lower_in_place(&mut v);
+        for (vi, oi) in v.iter().zip(&orig) {
+            assert_close(*vi, *oi, 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_cholesky_rejects_indefinite() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            DenseCholesky::factor(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            DenseCholesky::factor(&Dense::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Dense::zeros(1, 1);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+    }
+}

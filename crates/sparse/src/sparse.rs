@@ -1,0 +1,512 @@
+//! Sparse matrix storage: coordinate-format assembly ([`Triplets`]) and
+//! compressed sparse column matrices ([`Csc`]).
+//!
+//! MNA stamping naturally produces duplicate coordinate entries (each element
+//! stamps into shared nodes); [`Triplets::to_csc`] sums duplicates, which is
+//! exactly the assembly semantics circuit simulation needs.
+
+use crate::dense::Dense;
+use std::fmt;
+
+/// A coordinate-format (COO) builder for sparse matrices.
+///
+/// Duplicate `(row, col)` entries are *summed* on conversion, matching MNA
+/// stamp assembly semantics.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_sparse::Triplets;
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate: summed
+/// let a = t.to_csc();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Triplets {
+    /// Create an empty builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Triplets { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Append an entry. Zero values are kept (they pin the sparsity pattern,
+    /// which MNA reuse across Newton iterations relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.nrows && col < self.ncols, "triplet out of bounds");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Number of raw (pre-dedup) entries.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of rows of the target matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the target matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Assemble into compressed sparse column form, summing duplicates.
+    pub fn to_csc(&self) -> Csc {
+        // Count entries per column.
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            colptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        // Scatter (unsorted within column for now).
+        let mut rowidx = vec![0usize; self.vals.len()];
+        let mut values = vec![0.0; self.vals.len()];
+        let mut next = colptr.clone();
+        for k in 0..self.vals.len() {
+            let c = self.cols[k];
+            let dst = next[c];
+            rowidx[dst] = self.rows[k];
+            values[dst] = self.vals[k];
+            next[c] += 1;
+        }
+        let mut csc = Csc { nrows: self.nrows, ncols: self.ncols, colptr, rowidx, values };
+        csc.sort_and_dedup();
+        csc
+    }
+}
+
+/// A compressed sparse column matrix.
+///
+/// Row indices within each column are sorted and unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// An `nrows x ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Csc { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), values: Vec::new() }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        t.to_csc()
+    }
+
+    /// Build from raw CSC arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (wrong `colptr` length, unsorted
+    /// or duplicate row indices, or out-of-range indices).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(colptr.len(), ncols + 1, "colptr length");
+        assert_eq!(rowidx.len(), values.len(), "rowidx/values length");
+        assert_eq!(*colptr.last().unwrap(), rowidx.len(), "colptr terminator");
+        for c in 0..ncols {
+            assert!(colptr[c] <= colptr[c + 1], "colptr monotonicity");
+            let mut prev: Option<usize> = None;
+            for &r in &rowidx[colptr[c]..colptr[c + 1]] {
+                assert!(r < nrows, "row index out of range");
+                if let Some(p) = prev {
+                    assert!(r > p, "row indices must be strictly increasing");
+                }
+                prev = Some(r);
+            }
+        }
+        Csc { nrows, ncols, colptr, rowidx, values }
+    }
+
+    fn sort_and_dedup(&mut self) {
+        let mut new_colptr = vec![0usize; self.ncols + 1];
+        let mut new_rowidx = Vec::with_capacity(self.rowidx.len());
+        let mut new_values = Vec::with_capacity(self.values.len());
+        let mut buf: Vec<(usize, f64)> = Vec::new();
+        for c in 0..self.ncols {
+            buf.clear();
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                buf.push((self.rowidx[k], self.values[k]));
+            }
+            buf.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < buf.len() {
+                let r = buf[i].0;
+                let mut v = buf[i].1;
+                let mut j = i + 1;
+                while j < buf.len() && buf[j].0 == r {
+                    v += buf[j].1;
+                    j += 1;
+                }
+                new_rowidx.push(r);
+                new_values.push(v);
+                i = j;
+            }
+            new_colptr[c + 1] = new_rowidx.len();
+        }
+        self.colptr = new_colptr;
+        self.rowidx = new_rowidx;
+        self.values = new_values;
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row index array.
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable stored values (pattern-preserving numeric update).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Entry at `(row, col)`, `0.0` if not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let range = self.colptr[col]..self.colptr[col + 1];
+        match self.rowidx[range.clone()].binary_search(&row) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate over the stored entries of a column as `(row, value)` pairs.
+    pub fn col_iter(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.colptr[col]..self.colptr[col + 1];
+        self.rowidx[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x` into a caller-provided buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length");
+        assert_eq!(y.len(), self.nrows, "matvec: y length");
+        y.fill(0.0);
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                y[self.rowidx[k]] += self.values[k] * xc;
+            }
+        }
+    }
+
+    /// `y = Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for c in 0..self.ncols {
+            let mut sum = 0.0;
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                sum += self.values[k] * x[self.rowidx[k]];
+            }
+            y[c] = sum;
+        }
+        y
+    }
+
+    /// Transpose as a new matrix.
+    pub fn transpose(&self) -> Csc {
+        let mut t = Triplets::new(self.ncols, self.nrows);
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                t.push(c, r, v);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Symmetric permutation `P A Pᵀ` where `perm[new] = old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `perm` is not a permutation of
+    /// `0..n`.
+    pub fn permute_sym(&self, perm: &[usize]) -> Csc {
+        assert_eq!(self.nrows, self.ncols, "permute_sym: square required");
+        assert_eq!(perm.len(), self.nrows, "permute_sym: perm length");
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(old < perm.len() && inv[old] == usize::MAX, "invalid permutation");
+            inv[old] = new;
+        }
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                t.push(inv[r], inv[c], v);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Convert to a dense matrix (test/debug helper; intended for small
+    /// matrices).
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                d[(r, c)] = v;
+            }
+        }
+        d
+    }
+
+    /// Check symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sum of two matrices with identical shape: `A + alpha B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled(&self, alpha: f64, b: &Csc) -> Csc {
+        assert_eq!((self.nrows, self.ncols), (b.nrows, b.ncols), "add_scaled shape");
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                t.push(r, c, v);
+            }
+            for (r, v) in b.col_iter(c) {
+                t.push(r, c, alpha * v);
+            }
+        }
+        t.to_csc()
+    }
+}
+
+impl fmt::Display for Csc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}x{} sparse, {} nnz", self.nrows, self.ncols, self.nnz())?;
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                writeln!(f, "  ({r},{c}) = {v:e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 4.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 2.0);
+        t.push(2, 2, 5.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn assembly_sums_duplicates() {
+        let mut t = Triplets::new(2, 2);
+        t.push(1, 1, 1.5);
+        t.push(1, 1, 2.5);
+        t.push(0, 1, -1.0);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1, 1), 4.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut t = Triplets::new(3, 1);
+        t.push(2, 0, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 0, 3.0);
+        let a = t.to_csc();
+        assert_eq!(a.rowidx(), &[0, 1, 2]);
+        assert_eq!(a.values(), &[2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), vec![7.0, 6.0, 19.0]);
+        assert_eq!(a.matvec_t(&x), a.to_dense().matvec_t(&x));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn permute_sym_relabels() {
+        let a = sample();
+        // perm[new] = old; swap nodes 0 and 2.
+        let p = a.permute_sym(&[2, 1, 0]);
+        assert_eq!(p.get(0, 0), 5.0);
+        assert_eq!(p.get(2, 2), 1.0);
+        assert_eq!(p.get(2, 0), 2.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(0, 0, 1.0);
+        assert!(t.to_csc().is_symmetric(0.0));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn add_scaled_combines_patterns() {
+        let a = sample();
+        let b = Csc::identity(3);
+        let s = a.add_scaled(2.0, &b);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert_eq!(s.get(1, 1), 5.0);
+        assert_eq!(s.get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let a = Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(a.get(1, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_parts_rejects_unsorted() {
+        Csc::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_rejects_out_of_bounds() {
+        let mut t = Triplets::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Csc::zeros(3, 4);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0; 4]), vec![0.0; 3]);
+        let i = Csc::identity(2);
+        assert_eq!(i.matvec(&[5.0, 6.0]), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn values_mut_updates_in_place() {
+        let mut a = sample();
+        let nnz = a.nnz();
+        for v in a.values_mut() {
+            *v *= 2.0;
+        }
+        assert_eq!(a.nnz(), nnz);
+        assert_eq!(a.get(2, 2), 10.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", sample()).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the linear-algebra kernels: factorizations must
+//! reproduce the matrices they factor and solves must invert matvecs, for
+//! arbitrary well-conditioned inputs.
+
+use pcv_sparse::chol::SparseCholesky;
+use pcv_sparse::dense::{Dense, DenseLu, DenseQr};
+use pcv_sparse::eig::jacobi_eigen;
+use pcv_sparse::lu::SparseLu;
+use pcv_sparse::order::rcm;
+use pcv_sparse::sparse::Triplets;
+use proptest::prelude::*;
+
+/// A random sparse, strictly diagonally dominant matrix (hence nonsingular),
+/// with the off-diagonal structure of a resistor network: this is the matrix
+/// family MNA actually produces.
+fn dd_matrix(n: usize, entries: Vec<(usize, usize, f64)>) -> pcv_sparse::Csc {
+    let mut t = Triplets::new(n, n);
+    let mut diag = vec![1.0; n]; // baseline keeps strict dominance
+    for (r, c, v) in entries {
+        let (r, c) = (r % n, c % n);
+        if r == c {
+            continue;
+        }
+        t.push(r, c, v);
+        diag[r] += v.abs();
+    }
+    for (i, d) in diag.iter().enumerate() {
+        t.push(i, i, *d);
+    }
+    t.to_csc()
+}
+
+/// Like `dd_matrix` but symmetric (SPD by Gershgorin).
+fn spd_matrix(n: usize, entries: Vec<(usize, usize, f64)>) -> pcv_sparse::Csc {
+    let mut t = Triplets::new(n, n);
+    let mut diag = vec![1.0; n];
+    for (r, c, v) in entries {
+        let (r, c) = (r % n, c % n);
+        if r == c {
+            continue;
+        }
+        let v = -v.abs(); // resistor-like negative off-diagonals
+        t.push(r, c, v);
+        t.push(c, r, v);
+        diag[r] += v.abs();
+        diag[c] += v.abs();
+    }
+    for (i, d) in diag.iter().enumerate() {
+        t.push(i, i, *d);
+    }
+    t.to_csc()
+}
+
+fn entry_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -2.0f64..2.0),
+        0..(3 * n).max(1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_cholesky_solves_spd_systems(
+        n in 2usize..30,
+        entries in entry_strategy(30),
+        seed in 0u64..1000,
+    ) {
+        let a = spd_matrix(n, entries);
+        let xref: Vec<f64> = (0..n).map(|i| ((i as u64 + seed) as f64 * 0.613).sin()).collect();
+        let b = a.matvec(&xref);
+        let chol = SparseCholesky::factor(&a).unwrap();
+        let x = chol.solve(&b);
+        for (xi, ri) in x.iter().zip(&xref) {
+            prop_assert!((xi - ri).abs() < 1e-8, "{} vs {}", xi, ri);
+        }
+    }
+
+    #[test]
+    fn sparse_cholesky_reconstructs(
+        n in 2usize..20,
+        entries in entry_strategy(20),
+    ) {
+        let a = spd_matrix(n, entries);
+        let chol = SparseCholesky::factor(&a).unwrap();
+        let l = chol.l().to_dense();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        let ad = a.to_dense();
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!((llt[(r, c)] - ad[(r, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_lu_solves_dd_systems(
+        n in 2usize..30,
+        entries in entry_strategy(30),
+        seed in 0u64..1000,
+    ) {
+        let a = dd_matrix(n, entries);
+        let xref: Vec<f64> = (0..n).map(|i| ((i as u64 * 3 + seed) as f64 * 0.217).cos()).collect();
+        let b = a.matvec(&xref);
+        let lu = SparseLu::factor(&a, 1e-3).unwrap();
+        let x = lu.solve(&b);
+        for (xi, ri) in x.iter().zip(&xref) {
+            prop_assert!((xi - ri).abs() < 1e-8, "{} vs {}", xi, ri);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_agrees_with_dense_lu(
+        n in 2usize..12,
+        entries in entry_strategy(12),
+    ) {
+        let a = dd_matrix(n, entries);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let sparse = SparseLu::factor(&a, 1.0).unwrap().solve(&b);
+        let dense = DenseLu::factor(a.to_dense()).unwrap().solve(&b);
+        for (s, d) in sparse.iter().zip(&dense) {
+            prop_assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rcm_permutation_preserves_solution(
+        n in 2usize..20,
+        entries in entry_strategy(20),
+    ) {
+        let a = spd_matrix(n, entries);
+        let perm = rcm(&a);
+        let ap = a.permute_sym(&perm);
+        // Solve in permuted space and map back.
+        let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let b = a.matvec(&xref);
+        let bp: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+        let xp = SparseCholesky::factor(&ap).unwrap().solve(&bp);
+        for (new, &old) in perm.iter().enumerate() {
+            prop_assert!((xp[new] - xref[old]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_match_trace_and_are_real_sorted(
+        n in 1usize..10,
+        raw in prop::collection::vec(-3.0f64..3.0, 100),
+    ) {
+        let mut a = Dense::from_fn(n, n, |r, c| raw[(r * n + c) % raw.len()]);
+        a.symmetrize();
+        let eig = jacobi_eigen(&a).unwrap();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9 * (1.0 + trace.abs()));
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_factor_reproduces_input(
+        m in 2usize..10,
+        n in 1usize..6,
+        raw in prop::collection::vec(-2.0f64..2.0, 100),
+    ) {
+        prop_assume!(m >= n);
+        let a = Dense::from_fn(m, n, |r, c| raw[(r * n + c) % raw.len()]);
+        let qr = DenseQr::factor(&a, 1e-10).unwrap();
+        let prod = qr.q.matmul(&qr.r).unwrap();
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((prod[(r, c)] - a[(r, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_assembly_matches_dense_accumulation(
+        n in 1usize..8,
+        entries in prop::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 0..40),
+    ) {
+        let mut t = Triplets::new(n, n);
+        let mut dense = Dense::zeros(n, n);
+        for (r, c, v) in entries {
+            let (r, c) = (r % n, c % n);
+            t.push(r, c, v);
+            dense[(r, c)] += v;
+        }
+        let a = t.to_csc();
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!((a.get(r, c) - dense[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+}

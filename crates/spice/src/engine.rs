@@ -1,0 +1,751 @@
+//! DC and transient analysis engine.
+//!
+//! The solver follows classic SPICE structure: Newton–Raphson on the
+//! companion-linearized MNA system, `gmin` stepping for hard DC points,
+//! trapezoidal integration with backward-Euler startup after discontinuities,
+//! and breakpoint alignment so source corners are never stepped over.
+
+use crate::mna::{node_voltage, MnaLayout, Stamper};
+use crate::mos::eval_mos;
+use pcv_netlist::Waveform;
+use pcv_netlist::termination::Termination;
+use pcv_netlist::{Circuit, Element, NodeId};
+use pcv_sparse::SparseLu;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug)]
+pub enum SimError {
+    /// The linear solver failed (singular Jacobian even with `gmin`).
+    Solver(pcv_sparse::Error),
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Simulation time at which convergence failed (`0.0` for DC).
+        t: f64,
+    },
+    /// The timestep shrank below `min_step` without convergence.
+    StepTooSmall {
+        /// Simulation time at which the step collapsed.
+        t: f64,
+    },
+    /// A probe was requested for a node that was not recorded.
+    UnknownProbe {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Solver(e) => write!(f, "linear solver failed: {e}"),
+            SimError::NoConvergence { t } => {
+                write!(f, "newton iteration failed to converge at t = {t:e}")
+            }
+            SimError::StepTooSmall { t } => {
+                write!(f, "timestep underflow at t = {t:e}")
+            }
+            SimError::UnknownProbe { node } => {
+                write!(f, "node {node} was not probed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcv_sparse::Error> for SimError {
+    fn from(e: pcv_sparse::Error) -> Self {
+        SimError::Solver(e)
+    }
+}
+
+/// Simulator tuning knobs. The defaults suit 0.25 µm digital circuits on
+/// nanosecond timescales.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Minimum conductance from every node to ground (keeps floating nodes
+    /// and cutoff devices solvable).
+    pub gmin: f64,
+    /// Absolute voltage convergence tolerance.
+    pub vtol: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Newton iteration budget per solve.
+    pub max_newton: usize,
+    /// Largest allowed voltage change per Newton iteration (damping).
+    pub damping: f64,
+    /// Maximum timestep as a fraction of the simulation span.
+    pub max_step_fraction: f64,
+    /// Smallest allowed timestep in seconds.
+    pub min_step: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            gmin: 1e-12,
+            vtol: 1e-6,
+            reltol: 1e-4,
+            max_newton: 100,
+            damping: 0.4,
+            max_step_fraction: 1.0 / 1000.0,
+            min_step: 1e-18,
+        }
+    }
+}
+
+/// Integration method for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    BackwardEuler,
+    Trapezoidal,
+}
+
+/// A linear capacitor instance flattened out of the circuit (explicit caps,
+/// MOSFET parasitics and termination caps all end up here).
+#[derive(Debug, Clone, Copy)]
+struct CapInst {
+    a: NodeId,
+    b: NodeId,
+    farads: f64,
+}
+
+/// Per-capacitor integration state.
+#[derive(Debug, Clone, Default)]
+struct CapState {
+    v_prev: Vec<f64>,
+    i_prev: Vec<f64>,
+}
+
+/// Results of a transient analysis: sampled waveforms at the probed nodes.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    probes: Vec<NodeId>,
+    /// `data[p][k]` = voltage of probe `p` at `times[k]`.
+    data: Vec<Vec<f64>>,
+    /// Accepted timesteps.
+    pub steps: usize,
+    /// Total Newton iterations across the run (a CPU-cost proxy).
+    pub newton_iters: usize,
+}
+
+impl TranResult {
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The probed nodes.
+    pub fn probes(&self) -> &[NodeId] {
+        &self.probes
+    }
+
+    /// Waveform of a probed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not probed; use [`TranResult::try_waveform`]
+    /// for a fallible lookup.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        self.try_waveform(node).expect("node was not probed")
+    }
+
+    /// Waveform of a probed node, or an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProbe`] when the node was not recorded.
+    pub fn try_waveform(&self, node: NodeId) -> Result<Waveform, SimError> {
+        let idx = self
+            .probes
+            .iter()
+            .position(|&p| p == node)
+            .ok_or(SimError::UnknownProbe { node })?;
+        Ok(Waveform::from_samples(self.times.clone(), self.data[idx].clone()))
+    }
+}
+
+/// The simulator: a circuit plus attached nonlinear terminations.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    ckt: &'a Circuit,
+    layout: MnaLayout,
+    terminations: Vec<(NodeId, &'a dyn Termination)>,
+    /// Fill-reducing ordering of the MNA pattern, computed from the first
+    /// assembled Jacobian and reused for every subsequent factorization
+    /// (extracted RC networks in natural order suffer ~10x LU fill).
+    ordering: std::cell::OnceCell<Vec<usize>>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for a circuit.
+    pub fn new(ckt: &'a Circuit) -> Self {
+        Simulator {
+            ckt,
+            layout: MnaLayout::new(ckt),
+            terminations: Vec::new(),
+            ordering: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Attach a nonlinear termination at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is ground.
+    pub fn add_termination(&mut self, node: NodeId, term: &'a dyn Termination) -> &mut Self {
+        assert!(!node.is_ground(), "terminations attach to signal nodes");
+        self.terminations.push((node, term));
+        self
+    }
+
+    /// The MNA layout (size, branch rows).
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    fn collect_caps(&self) -> Vec<CapInst> {
+        let mut caps = Vec::new();
+        for e in self.ckt.elements() {
+            match e {
+                Element::Capacitor { a, b, farads } => {
+                    caps.push(CapInst { a: *a, b: *b, farads: *farads });
+                }
+                Element::Mosfet { d, g, s, params } => {
+                    // Simple charge model: half the gate cap to source and
+                    // drain each, junction caps to ground.
+                    let cg2 = 0.5 * params.gate_cap();
+                    if cg2 > 0.0 {
+                        caps.push(CapInst { a: *g, b: *s, farads: cg2 });
+                        caps.push(CapInst { a: *g, b: *d, farads: cg2 });
+                    }
+                    let cj = params.junction_cap();
+                    if cj > 0.0 {
+                        caps.push(CapInst { a: *d, b: NodeId::GROUND, farads: cj });
+                        caps.push(CapInst { a: *s, b: NodeId::GROUND, farads: cj });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (node, term) in &self.terminations {
+            let c = term.capacitance();
+            if c > 0.0 {
+                caps.push(CapInst { a: *node, b: NodeId::GROUND, farads: c });
+            }
+        }
+        caps
+    }
+
+    /// Stamp every element at solution `x`, time `t`. `dynamic` carries the
+    /// capacitor companion context for transient steps; `None` means DC
+    /// (capacitors open).
+    fn stamp(
+        &self,
+        st: &mut Stamper,
+        x: &[f64],
+        t: f64,
+        gmin: f64,
+        dynamic: Option<(&[CapInst], &CapState, f64, Method)>,
+        dc_sources: bool,
+    ) {
+        let n = self.layout.num_nodes();
+        for i in 0..n {
+            st.diagonal(i, gmin);
+        }
+        let mut vsrc_iter = self.layout.vsrc_rows().iter();
+        for e in self.ckt.elements() {
+            match e {
+                Element::Resistor { a, b, ohms } => st.conductance(*a, *b, 1.0 / ohms),
+                Element::Capacitor { .. } => {} // handled via the caps list
+                Element::Vsrc { pos, neg, wave } => {
+                    let (_, row) = *vsrc_iter.next().expect("layout matches circuit");
+                    let v = if dc_sources { wave.dc_value() } else { wave.value_at(t) };
+                    st.vsrc(row, *pos, *neg, v);
+                }
+                Element::Isrc { pos, neg, wave } => {
+                    let i = if dc_sources { wave.dc_value() } else { wave.value_at(t) };
+                    st.current_into(*pos, -i);
+                    st.current_into(*neg, i);
+                }
+                Element::Mosfet { d, g, s, params } => {
+                    let vd = node_voltage(x, *d);
+                    let vg = node_voltage(x, *g);
+                    let vs = node_voltage(x, *s);
+                    let m = eval_mos(params, vd, vg, vs);
+                    st.jacobian(*d, *d, m.g_d);
+                    st.jacobian(*d, *g, m.g_g);
+                    st.jacobian(*d, *s, m.g_s);
+                    st.jacobian(*s, *d, -m.g_d);
+                    st.jacobian(*s, *g, -m.g_g);
+                    st.jacobian(*s, *s, -m.g_s);
+                    let ieq = m.ids - m.g_d * vd - m.g_g * vg - m.g_s * vs;
+                    st.current_into(*d, -ieq);
+                    st.current_into(*s, ieq);
+                }
+            }
+        }
+        for (node, term) in &self.terminations {
+            let v = node_voltage(x, *node);
+            let (i0, g) = term.eval(t, v);
+            st.jacobian(*node, *node, g);
+            st.current_into(*node, -(i0 - g * v));
+        }
+        if let Some((caps, state, h, method)) = dynamic {
+            for (k, cap) in caps.iter().enumerate() {
+                let (geq, ieq) = match method {
+                    Method::BackwardEuler => {
+                        let geq = cap.farads / h;
+                        (geq, geq * state.v_prev[k])
+                    }
+                    Method::Trapezoidal => {
+                        let geq = 2.0 * cap.farads / h;
+                        (geq, geq * state.v_prev[k] + state.i_prev[k])
+                    }
+                };
+                st.conductance(cap.a, cap.b, geq);
+                st.current_into(cap.a, ieq);
+                st.current_into(cap.b, -ieq);
+            }
+        }
+    }
+
+    /// One Newton solve. Returns the solution and the iteration count.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_point(
+        &self,
+        x0: &[f64],
+        t: f64,
+        gmin: f64,
+        dynamic: Option<(&[CapInst], &CapState, f64, Method)>,
+        dc_sources: bool,
+        opts: &SimOptions,
+    ) -> Result<(Vec<f64>, usize), SimError> {
+        let n = self.layout.num_nodes();
+        let size = self.layout.size();
+        let mut x = x0.to_vec();
+        for iter in 0..opts.max_newton {
+            let mut st = Stamper::new(size);
+            self.stamp(&mut st, &x, t, gmin, dynamic, dc_sources);
+            let (j, rhs) = st.finish();
+            let perm = self.ordering.get_or_init(|| pcv_sparse::order::rcm(&j));
+            let x_new = if perm.len() == j.nrows() {
+                let jp = j.permute_sym(perm);
+                let bp: Vec<f64> = perm.iter().map(|&old| rhs[old]).collect();
+                let xp = SparseLu::factor(&jp, 1e-3)?.solve(&bp);
+                let mut un = vec![0.0; size];
+                for (new, &old) in perm.iter().enumerate() {
+                    un[old] = xp[new];
+                }
+                un
+            } else {
+                SparseLu::factor(&j, 1e-3)?.solve(&rhs)
+            };
+            // Damped update on node voltages; branch currents move freely.
+            let mut converged = true;
+            let mut next = x.clone();
+            for i in 0..size {
+                let delta = x_new[i] - x[i];
+                if i < n {
+                    if delta.abs() > opts.vtol + opts.reltol * x[i].abs() {
+                        converged = false;
+                    }
+                    next[i] = x[i] + delta.clamp(-opts.damping, opts.damping);
+                } else {
+                    next[i] = x_new[i];
+                }
+            }
+            x = next;
+            if converged {
+                return Ok((x, iter + 1));
+            }
+        }
+        Err(SimError::NoConvergence { t })
+    }
+
+    /// Solve the DC operating point (sources at their `t = 0⁻` values).
+    ///
+    /// Falls back to `gmin` stepping when the direct Newton solve fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoConvergence`] or [`SimError::Solver`] when even
+    /// stepped solves fail.
+    pub fn dc(&self, opts: &SimOptions) -> Result<Vec<f64>, SimError> {
+        let x0 = vec![0.0; self.layout.size()];
+        match self.solve_point(&x0, 0.0, opts.gmin, None, true, opts) {
+            Ok((x, _)) => Ok(x),
+            Err(_) => {
+                // gmin stepping: solve a heavily damped system first and
+                // track the solution as gmin relaxes.
+                let mut x = x0;
+                let mut g = 1e-2;
+                while g > opts.gmin * 1.001 {
+                    if let Ok((xs, _)) = self.solve_point(&x, 0.0, g, None, true, opts) {
+                        x = xs;
+                    }
+                    g *= 0.1;
+                }
+                let (x, _) = self.solve_point(&x, 0.0, opts.gmin, None, true, opts)?;
+                Ok(x)
+            }
+        }
+    }
+
+    /// Run a transient analysis to `tstop`, recording every non-ground node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC failures and returns [`SimError::StepTooSmall`] when the
+    /// integrator cannot find a convergent step.
+    pub fn transient(&self, tstop: f64, opts: &SimOptions) -> Result<TranResult, SimError> {
+        let probes: Vec<NodeId> =
+            (0..self.layout.num_nodes()).map(NodeId::from_index).collect();
+        self.transient_probed(tstop, opts, &probes)
+    }
+
+    /// Run a transient analysis recording only the given nodes (memory-light
+    /// for chip-scale runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC failures and returns [`SimError::StepTooSmall`] when the
+    /// integrator cannot find a convergent step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tstop <= 0` or a probe is ground.
+    pub fn transient_probed(
+        &self,
+        tstop: f64,
+        opts: &SimOptions,
+        probes: &[NodeId],
+    ) -> Result<TranResult, SimError> {
+        assert!(tstop > 0.0, "tstop must be positive");
+        assert!(probes.iter().all(|p| !p.is_ground()), "cannot probe ground");
+        let caps = self.collect_caps();
+        let mut x = self.dc(opts)?;
+        let mut state = CapState {
+            v_prev: caps
+                .iter()
+                .map(|c| node_voltage(&x, c.a) - node_voltage(&x, c.b))
+                .collect(),
+            i_prev: vec![0.0; caps.len()],
+        };
+
+        // Breakpoints from source waveforms and termination stimuli.
+        let mut bps: Vec<f64> = Vec::new();
+        for e in self.ckt.elements() {
+            if let Element::Vsrc { wave, .. } | Element::Isrc { wave, .. } = e {
+                bps.extend(wave.breakpoints());
+            }
+        }
+        for (_, term) in &self.terminations {
+            bps.extend(term.breakpoints());
+        }
+        bps.retain(|&b| b > 0.0 && b < tstop);
+        bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        let mut bp_idx = 0;
+
+        let hmax = tstop * opts.max_step_fraction;
+        let h_init = hmax / 10.0;
+        let mut h = h_init;
+        let mut t = 0.0;
+        let tiny = tstop * 1e-12;
+
+        let mut result = TranResult {
+            times: vec![0.0],
+            probes: probes.to_vec(),
+            data: probes.iter().map(|&p| vec![node_voltage(&x, p)]).collect(),
+            steps: 0,
+            newton_iters: 0,
+        };
+        // Start each run (and each post-breakpoint region) with BE to damp
+        // the trapezoidal ringing a slope discontinuity would excite.
+        let mut use_be = true;
+
+        while t < tstop - tiny {
+            let next_bp = bps.get(bp_idx).copied();
+            let mut h_eff = h.min(hmax).min(tstop - t);
+            if let Some(bp) = next_bp {
+                if bp > t + tiny {
+                    h_eff = h_eff.min(bp - t);
+                }
+            }
+            let method = if use_be { Method::BackwardEuler } else { Method::Trapezoidal };
+            match self.solve_point(
+                &x,
+                t + h_eff,
+                opts.gmin,
+                Some((&caps, &state, h_eff, method)),
+                false,
+                opts,
+            ) {
+                Ok((x_new, iters)) => {
+                    // Accept: update capacitor states.
+                    for (k, cap) in caps.iter().enumerate() {
+                        let v_new =
+                            node_voltage(&x_new, cap.a) - node_voltage(&x_new, cap.b);
+                        let i_new = match method {
+                            Method::BackwardEuler => {
+                                cap.farads / h_eff * (v_new - state.v_prev[k])
+                            }
+                            Method::Trapezoidal => {
+                                2.0 * cap.farads / h_eff * (v_new - state.v_prev[k])
+                                    - state.i_prev[k]
+                            }
+                        };
+                        state.v_prev[k] = v_new;
+                        state.i_prev[k] = i_new;
+                    }
+                    t += h_eff;
+                    x = x_new;
+                    result.times.push(t);
+                    for (p, &probe) in probes.iter().enumerate() {
+                        result.data[p].push(node_voltage(&x, probe));
+                    }
+                    result.steps += 1;
+                    result.newton_iters += iters;
+                    use_be = false;
+
+                    // Crossed a breakpoint? Restart small with BE.
+                    if let Some(bp) = next_bp {
+                        if (t - bp).abs() <= tiny {
+                            bp_idx += 1;
+                            h = h_init;
+                            use_be = true;
+                            continue;
+                        }
+                    }
+                    // Iteration-count step control.
+                    if iters <= 3 {
+                        h = (h * 1.5).min(hmax);
+                    } else if iters >= 8 {
+                        h *= 0.5;
+                    }
+                }
+                Err(SimError::NoConvergence { .. }) | Err(SimError::Solver(_)) => {
+                    h /= 4.0;
+                    use_be = true;
+                    if h < opts.min_step {
+                        return Err(SimError::StepTooSmall { t });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcv_netlist::termination::{ResistiveTermination, TheveninTermination};
+    use pcv_netlist::{MosParams, SourceWave};
+
+    const VDD: f64 = 2.5;
+
+    #[test]
+    fn dc_voltage_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(3.0));
+        ckt.add_resistor(a, b, 1000.0);
+        ckt.add_resistor(b, Circuit::GROUND, 2000.0);
+        let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+        assert!((node_voltage(&x, b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_inverter_transfer() {
+        // A CMOS inverter: input low → output at VDD; input high → output 0.
+        for (vin, expect) in [(0.0, VDD), (VDD, 0.0)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+            ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::Dc(vin));
+            ckt.add_mosfet(out, inp, Circuit::GROUND, MosParams::nmos_025(1e-6));
+            ckt.add_mosfet(out, inp, vdd, MosParams::pmos_025(2.5e-6));
+            let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+            assert!(
+                (node_voltage(&x, out) - expect).abs() < 0.01,
+                "vin={vin}: vout={} expect={expect}",
+                node_voltage(&x, out)
+            );
+        }
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::step(0.0, 1.0, 1e-9, 1e-13));
+        ckt.add_resistor(inp, out, 1000.0);
+        ckt.add_capacitor(out, Circuit::GROUND, 1e-12);
+        let res = Simulator::new(&ckt).transient(11e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(out);
+        // v(t) = 1 - exp(-(t - 1n)/1n)
+        for &tt in &[2e-9, 3e-9, 5e-9, 9e-9] {
+            let analytic = 1.0 - (-(tt - 1e-9) / 1e-9_f64).exp();
+            assert!(
+                (w.value_at(tt) - analytic).abs() < 5e-3,
+                "t={tt}: {} vs {}",
+                w.value_at(tt),
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn coupled_rc_charge_sharing() {
+        // Two grounded-cap nodes joined by a coupling cap: a step on the
+        // aggressor injects a glitch on the floating victim.
+        let mut ckt = Circuit::new();
+        let agg_in = ckt.node("agg_in");
+        let agg = ckt.node("agg");
+        let vic = ckt.node("vic");
+        ckt.add_vsrc(agg_in, Circuit::GROUND, SourceWave::step(0.0, VDD, 1e-9, 0.1e-9));
+        ckt.add_resistor(agg_in, agg, 200.0);
+        ckt.add_capacitor(agg, Circuit::GROUND, 20e-15);
+        ckt.add_capacitor(agg, vic, 30e-15); // coupling
+        ckt.add_capacitor(vic, Circuit::GROUND, 30e-15);
+        ckt.add_resistor(vic, Circuit::GROUND, 1000.0); // weak holder
+        let res = Simulator::new(&ckt).transient(5e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(vic);
+        let (_, peak) = w.peak_deviation(0.0);
+        assert!(peak > 0.1, "coupled glitch should be visible, got {peak}");
+        assert!(peak < VDD * 0.6, "glitch bounded by divider, got {peak}");
+        // Glitch decays back through the holding resistor.
+        assert!(w.value_at(5e-9).abs() < 0.05);
+    }
+
+    #[test]
+    fn inverter_transient_switches() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+        ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::step(0.0, VDD, 0.5e-9, 0.1e-9));
+        ckt.add_mosfet(out, inp, Circuit::GROUND, MosParams::nmos_025(2e-6));
+        ckt.add_mosfet(out, inp, vdd, MosParams::pmos_025(5e-6));
+        ckt.add_capacitor(out, Circuit::GROUND, 20e-15);
+        let res = Simulator::new(&ckt).transient(4e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(out);
+        assert!((w.value_at(0.2e-9) - VDD).abs() < 0.02, "output starts high");
+        assert!(w.value_at(4e-9).abs() < 0.02, "output ends low");
+        let d = w.crossing(0.5 * VDD, false, 0.0).unwrap();
+        assert!(d > 0.5e-9 && d < 2e-9, "plausible delay, got {d}");
+    }
+
+    #[test]
+    fn termination_thevenin_drives_node() {
+        // A node driven only by a Thevenin termination behaves like a
+        // source behind a resistor.
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_capacitor(n, Circuit::GROUND, 1e-12);
+        let term =
+            TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-13));
+        let mut sim = Simulator::new(&ckt);
+        sim.add_termination(n, &term);
+        let res = sim.transient(8e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(n);
+        assert!((w.value_at(8e-9) - 1.0).abs() < 0.01);
+        // tau = 1 ns ⇒ at 1 ns: 63%.
+        assert!((w.value_at(1e-9) - 0.632).abs() < 0.02);
+    }
+
+    #[test]
+    fn resistive_termination_loads_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(2.0));
+        ckt.add_resistor(a, b, 1000.0);
+        let term = ResistiveTermination::new(1000.0);
+        let mut sim = Simulator::new(&ckt);
+        sim.add_termination(b, &term);
+        let x = sim.dc(&SimOptions::default()).unwrap();
+        assert!((node_voltage(&x, b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probed_transient_limits_recording() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(1.0));
+        ckt.add_resistor(a, b, 100.0);
+        ckt.add_capacitor(b, Circuit::GROUND, 1e-15);
+        let res = Simulator::new(&ckt)
+            .transient_probed(1e-9, &SimOptions::default(), &[b])
+            .unwrap();
+        assert!(res.try_waveform(b).is_ok());
+        assert!(matches!(
+            res.try_waveform(a),
+            Err(SimError::UnknownProbe { .. })
+        ));
+    }
+
+    #[test]
+    fn floating_node_survives_via_gmin() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("float");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(1.0));
+        ckt.add_capacitor(a, b, 1e-15); // b floats except through gmin
+        let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+        assert!(node_voltage(&x, b).abs() < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn breakpoints_are_not_stepped_over() {
+        // A very narrow pulse must still be seen by the integrator.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsrc(
+            a,
+            Circuit::GROUND,
+            SourceWave::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 5e-9,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 20e-12,
+                period: f64::INFINITY,
+            },
+        );
+        ckt.add_resistor(a, Circuit::GROUND, 1000.0);
+        let res = Simulator::new(&ckt).transient(10e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(a);
+        let (_, peak) = w.peak_deviation(0.0);
+        assert!((peak - 1.0).abs() < 1e-3, "pulse peak captured, got {peak}");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SimError::NoConvergence { t: 1e-9 };
+        assert!(e.to_string().contains("converge"));
+        let e = SimError::StepTooSmall { t: 0.0 };
+        assert!(e.to_string().contains("underflow"));
+    }
+}

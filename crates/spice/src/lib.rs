@@ -1,0 +1,48 @@
+//! A SPICE-class nonlinear transient circuit simulator.
+//!
+//! This crate is the *reference engine* of the PCV workspace: the DATE 1999
+//! methodology validates its fast SyMPVL-based crosstalk analysis against
+//! detailed SPICE runs, so a complete (if compact) SPICE substrate is part of
+//! the reproduction. It provides:
+//!
+//! * Modified nodal analysis with automatic branch currents for voltage
+//!   sources ([`mna`]).
+//! * A Level-1 (Shichman–Hodges) MOSFET model with analytically exact
+//!   derivatives ([`mos`]).
+//! * DC operating-point solution with Newton–Raphson damping and `gmin`
+//!   stepping ([`Simulator::dc`]).
+//! * Transient analysis with trapezoidal integration (backward-Euler
+//!   startup), source-breakpoint alignment and iteration-count step control
+//!   ([`Simulator::transient`]).
+//! * Waveform measurement utilities — peaks, crossings, delays, slews
+//!   (re-exported [`Waveform`]).
+//!
+//! # Example
+//!
+//! An RC low-pass driven by a step:
+//!
+//! ```
+//! # use pcv_netlist::{Circuit, SourceWave};
+//! # use pcv_spice::{Simulator, SimOptions};
+//! # fn main() -> Result<(), pcv_spice::SimError> {
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+//! ckt.add_resistor(inp, out, 1_000.0);
+//! ckt.add_capacitor(out, Circuit::GROUND, 1e-12); // tau = 1 ns
+//! let result = Simulator::new(&ckt).transient(10e-9, &SimOptions::default())?;
+//! let w = result.waveform(out);
+//! assert!((w.value_at(10e-9) - 1.0).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod mna;
+pub mod mos;
+
+pub use engine::{SimError, SimOptions, Simulator, TranResult};
+pub use pcv_netlist::Waveform;

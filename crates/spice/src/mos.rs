@@ -1,0 +1,198 @@
+//! Level-1 (Shichman–Hodges) MOSFET evaluation with exact derivatives.
+//!
+//! The model handles drain/source orientation swapping (symmetric
+//! conduction) and PMOS polarity internally; the caller always works in the
+//! original node frame.
+
+use pcv_netlist::{MosKind, MosParams};
+
+/// Linearized MOSFET operating point in the *original* node frame.
+///
+/// `ids` is the channel current flowing from the drain node to the source
+/// node; the `g*` fields are its partial derivatives with respect to the
+/// drain, gate and source node voltages respectively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosStamp {
+    /// Channel current, drain → source (amperes).
+    pub ids: f64,
+    /// `d ids / d v_drain`.
+    pub g_d: f64,
+    /// `d ids / d v_gate`.
+    pub g_g: f64,
+    /// `d ids / d v_source`.
+    pub g_s: f64,
+}
+
+/// Core NMOS-like evaluation with `vds >= 0` guaranteed by the caller.
+/// Returns `(ids, gm, gds)` with `gm = d ids/d vgs`, `gds = d ids/d vds`.
+fn eval_core(beta: f64, vt: f64, lambda: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+    debug_assert!(vds >= 0.0);
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        // Cutoff: exponential-free simple model, zero current.
+        return (0.0, 0.0, 0.0);
+    }
+    let clm = 1.0 + lambda * vds;
+    if vds < vov {
+        // Triode.
+        let shape = vov * vds - 0.5 * vds * vds;
+        let ids = beta * shape * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * (vov - vds) * clm + beta * shape * lambda;
+        (ids, gm, gds)
+    } else {
+        // Saturation.
+        let half = 0.5 * beta * vov * vov;
+        let ids = half * clm;
+        let gm = beta * vov * clm;
+        let gds = half * lambda;
+        (ids, gm, gds)
+    }
+}
+
+/// Evaluate a Level-1 MOSFET at the given drain/gate/source node voltages.
+///
+/// Handles orientation (negative `vds`) and polarity (PMOS) so the returned
+/// stamp is always expressed in the original node frame.
+///
+/// # Example
+///
+/// ```
+/// # use pcv_netlist::MosParams;
+/// # use pcv_spice::mos::eval_mos;
+/// let p = MosParams::nmos_025(1e-6);
+/// let on = eval_mos(&p, 2.5, 2.5, 0.0);
+/// assert!(on.ids > 0.0);
+/// let off = eval_mos(&p, 2.5, 0.0, 0.0);
+/// assert_eq!(off.ids, 0.0);
+/// ```
+pub fn eval_mos(p: &MosParams, vd: f64, vg: f64, vs: f64) -> MosStamp {
+    match p.kind {
+        MosKind::Nmos => eval_oriented(p.beta(), p.vt0, p.lambda, vd, vg, vs),
+        MosKind::Pmos => {
+            // Polarity flip: a PMOS at (vd, vg, vs) behaves like an NMOS at
+            // (-vd, -vg, -vs) with threshold -vt0 (> 0). With u = -v, the
+            // flipped-frame current I_n equals minus the real drain current
+            // and d(ids)/d(v) = d(-I_n)/d(-u) = dI_n/du, so derivatives map
+            // through unchanged.
+            let n = eval_oriented(p.beta(), -p.vt0, p.lambda, -vd, -vg, -vs);
+            MosStamp { ids: -n.ids, g_d: n.g_d, g_g: n.g_g, g_s: n.g_s }
+        }
+    }
+}
+
+/// NMOS evaluation with drain/source orientation handling.
+fn eval_oriented(beta: f64, vt: f64, lambda: f64, vd: f64, vg: f64, vs: f64) -> MosStamp {
+    if vd >= vs {
+        let (ids, gm, gds) = eval_core(beta, vt, lambda, vg - vs, vd - vs);
+        MosStamp { ids, g_d: gds, g_g: gm, g_s: -(gm + gds) }
+    } else {
+        // Source and drain exchange roles; channel current reverses sign.
+        // Oriented frame: vgs' = vg - vd, vds' = vs - vd.
+        let (ids, gm, gds) = eval_core(beta, vt, lambda, vg - vd, vs - vd);
+        MosStamp {
+            ids: -ids,
+            g_d: gm + gds,
+            g_g: -gm,
+            g_s: -gds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(p: &MosParams, vd: f64, vg: f64, vs: f64) {
+        let h = 1e-7;
+        let base = eval_mos(p, vd, vg, vs);
+        let fd_d = (eval_mos(p, vd + h, vg, vs).ids - eval_mos(p, vd - h, vg, vs).ids) / (2.0 * h);
+        let fd_g = (eval_mos(p, vd, vg + h, vs).ids - eval_mos(p, vd, vg - h, vs).ids) / (2.0 * h);
+        let fd_s = (eval_mos(p, vd, vg, vs + h).ids - eval_mos(p, vd, vg, vs - h).ids) / (2.0 * h);
+        let tol = 1e-6 * (1.0 + base.ids.abs() / h);
+        assert!((base.g_d - fd_d).abs() < tol.max(1e-9), "g_d {} vs fd {}", base.g_d, fd_d);
+        assert!((base.g_g - fd_g).abs() < tol.max(1e-9), "g_g {} vs fd {}", base.g_g, fd_g);
+        assert!((base.g_s - fd_s).abs() < tol.max(1e-9), "g_s {} vs fd {}", base.g_s, fd_s);
+    }
+
+    #[test]
+    fn nmos_regions() {
+        let p = MosParams::nmos_025(1e-6);
+        // Cutoff.
+        assert_eq!(eval_mos(&p, 2.5, 0.2, 0.0).ids, 0.0);
+        // Saturation: vds > vov.
+        let sat = eval_mos(&p, 2.5, 1.5, 0.0);
+        assert!(sat.ids > 0.0);
+        // Triode: small vds.
+        let tri = eval_mos(&p, 0.1, 2.5, 0.0);
+        assert!(tri.ids > 0.0 && tri.ids < sat.ids);
+    }
+
+    #[test]
+    fn nmos_derivatives_match_finite_differences() {
+        let p = MosParams::nmos_025(2e-6);
+        // Away from region boundaries.
+        for &(vd, vg, vs) in &[
+            (2.5, 2.5, 0.0),  // triode-ish
+            (2.5, 1.2, 0.0),  // saturation
+            (0.05, 2.0, 0.0), // deep triode
+            (0.0, 2.0, 2.5),  // reversed orientation
+        ] {
+            fd_check(&p, vd, vg, vs);
+        }
+    }
+
+    #[test]
+    fn pmos_derivatives_match_finite_differences() {
+        let p = MosParams::pmos_025(4e-6);
+        for &(vd, vg, vs) in &[
+            (0.0, 0.0, 2.5),  // on, pulling up
+            (2.4, 0.0, 2.5),  // near-on triode
+            (0.0, 2.5, 2.5),  // off
+            (2.5, 0.0, 0.0),  // reversed orientation
+        ] {
+            fd_check(&p, vd, vg, vs);
+        }
+    }
+
+    #[test]
+    fn pmos_pulls_up() {
+        let p = MosParams::pmos_025(4e-6);
+        // Gate low, source at vdd, drain low: current flows source→drain,
+        // i.e. `ids` (drain→source) is negative.
+        let s = eval_mos(&p, 0.0, 0.0, 2.5);
+        assert!(s.ids < 0.0);
+        // Gate high: off.
+        assert_eq!(eval_mos(&p, 0.0, 2.5, 2.5).ids, 0.0);
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let p = MosParams::nmos_025(1e-6);
+        // Swapping drain and source voltages flips the current sign.
+        let a = eval_mos(&p, 1.0, 2.5, 0.3);
+        let b = eval_mos(&p, 0.3, 2.5, 1.0);
+        assert!((a.ids + b.ids).abs() < 1e-12 * a.ids.abs().max(1e-15));
+    }
+
+    #[test]
+    fn current_monotone_in_gate_drive() {
+        let p = MosParams::nmos_025(1e-6);
+        let mut prev = 0.0;
+        for k in 0..10 {
+            let vg = 0.6 + 0.2 * k as f64;
+            let i = eval_mos(&p, 2.5, vg, 0.0).ids;
+            assert!(i >= prev);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn stronger_device_carries_more_current() {
+        let p1 = MosParams::nmos_025(1e-6);
+        let p4 = MosParams::nmos_025(4e-6);
+        let i1 = eval_mos(&p1, 2.5, 2.5, 0.0).ids;
+        let i4 = eval_mos(&p4, 2.5, 2.5, 0.0).ids;
+        assert!((i4 / i1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! Physics-validation tests for the SPICE substrate: analytic circuits with
+//! known closed-form behavior, device sweeps, and conservation checks.
+
+use pcv_netlist::termination::CapacitiveTermination;
+use pcv_netlist::{Circuit, MosParams, SourceWave};
+use pcv_spice::mna::node_voltage;
+use pcv_spice::{SimOptions, Simulator};
+
+const VDD: f64 = 2.5;
+
+#[test]
+fn rc_divider_with_two_sources() {
+    // Two voltage sources and a resistor bridge: superposition check.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let m = ckt.node("m");
+    ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(2.0));
+    ckt.add_vsrc(b, Circuit::GROUND, SourceWave::Dc(-1.0));
+    ckt.add_resistor(a, m, 1000.0);
+    ckt.add_resistor(b, m, 1000.0);
+    ckt.add_resistor(m, Circuit::GROUND, 1000.0);
+    let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+    // v(m) = (2 - 1) / 3
+    assert!((node_voltage(&x, m) - 1.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn capacitive_divider_charge_sharing() {
+    // Series caps from a stepped source: v(mid) = C1/(C1+C2) * Vstep.
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    let mid = ckt.node("mid");
+    ckt.add_vsrc(src, Circuit::GROUND, SourceWave::step(0.0, 1.0, 1e-10, 1e-12));
+    ckt.add_capacitor(src, mid, 3e-15);
+    ckt.add_capacitor(mid, Circuit::GROUND, 1e-15);
+    let res = Simulator::new(&ckt).transient(1e-9, &SimOptions::default()).unwrap();
+    let v = res.waveform(mid).value_at(1e-9);
+    assert!((v - 0.75).abs() < 5e-3, "capacitive divider: {v}");
+}
+
+#[test]
+fn rc_delay_scales_linearly_with_c() {
+    let run = |c: f64| -> f64 {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.add_resistor(a, b, 1000.0);
+        ckt.add_capacitor(b, Circuit::GROUND, c);
+        let res = Simulator::new(&ckt)
+            .transient(40.0 * 1000.0 * c, &SimOptions::default())
+            .unwrap();
+        res.waveform(b).crossing(0.5, true, 0.0).unwrap()
+    };
+    let t1 = run(1e-12);
+    let t2 = run(2e-12);
+    assert!((t2 / t1 - 2.0).abs() < 0.05, "tau doubling: {t1} vs {t2}");
+    // And the absolute value matches ln(2) * RC.
+    let expect = 0.693 * 1000.0 * 1e-12;
+    assert!((t1 - expect).abs() / expect < 0.02, "{t1} vs {expect}");
+}
+
+#[test]
+fn inverter_vtc_is_monotone_with_plausible_threshold() {
+    // DC sweep of a CMOS inverter: output falls monotonically; the
+    // crossover sits mid-rail for a balanced P/N ratio.
+    let mut crossings = Vec::new();
+    let mut prev = f64::INFINITY;
+    for k in 0..=25 {
+        let vin = VDD * k as f64 / 25.0;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+        ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::Dc(vin));
+        ckt.add_mosfet(out, inp, Circuit::GROUND, MosParams::nmos_025(1e-6));
+        ckt.add_mosfet(out, inp, vdd, MosParams::pmos_025(2.5e-6));
+        let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+        let vout = node_voltage(&x, out);
+        assert!(vout <= prev + 1e-6, "VTC monotone at vin={vin}: {vout} > {prev}");
+        if vout < 0.5 * VDD && prev >= 0.5 * VDD {
+            crossings.push(vin);
+        }
+        prev = vout;
+    }
+    assert_eq!(crossings.len(), 1, "single switching threshold");
+    assert!(
+        crossings[0] > 0.3 * VDD && crossings[0] < 0.7 * VDD,
+        "mid-rail threshold, got {}",
+        crossings[0]
+    );
+}
+
+#[test]
+fn ring_oscillator_oscillates() {
+    // A 3-stage ring oscillator: the classic self-consistency check for a
+    // transient engine — DC has no stable point, the transient must swing.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+    let stages = 3;
+    let nodes: Vec<_> = (0..stages).map(|k| ckt.node(&format!("s{k}"))).collect();
+    for k in 0..stages {
+        let inp = nodes[k];
+        let out = nodes[(k + 1) % stages];
+        ckt.add_mosfet(out, inp, Circuit::GROUND, MosParams::nmos_025(1e-6));
+        ckt.add_mosfet(out, inp, vdd, MosParams::pmos_025(2.5e-6));
+        ckt.add_capacitor(out, Circuit::GROUND, 5e-15);
+    }
+    // A kick to break the metastable DC point.
+    ckt.add_isrc(
+        nodes[0],
+        Circuit::GROUND,
+        SourceWave::Pulse {
+            v0: 0.0,
+            v1: 50e-6,
+            delay: 0.1e-9,
+            rise: 10e-12,
+            fall: 10e-12,
+            width: 0.2e-9,
+            period: f64::INFINITY,
+        },
+    );
+    let res = Simulator::new(&ckt).transient(20e-9, &SimOptions::default()).unwrap();
+    let w = res.waveform(nodes[0]);
+    // Count rail-to-rail swings in the second half (after startup).
+    let mut swings = 0;
+    let mut t = 10e-9;
+    while let Some(tc) = w.crossing(0.5 * VDD, true, t) {
+        if tc >= 20e-9 {
+            break;
+        }
+        swings += 1;
+        t = tc + 1e-12;
+    }
+    assert!(swings >= 2, "ring oscillator must oscillate, saw {swings} rising crossings");
+    let (_, hi) = w.max();
+    let (_, lo) = w.min();
+    assert!(hi > 0.8 * VDD && lo < 0.2 * VDD, "full swings: {lo}..{hi}");
+}
+
+#[test]
+fn nand_gate_truth_table() {
+    use pcv_cells::library::CellLibrary;
+    let lib = CellLibrary::standard_025();
+    let nand = lib.cell("NAND2X2").unwrap();
+    for (a_in, b_in, expect_high) in [
+        (0.0, 0.0, true),
+        (0.0, VDD, true),
+        (VDD, 0.0, true),
+        (VDD, VDD, false),
+    ] {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let z = ckt.node("z");
+        ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(a_in));
+        ckt.add_vsrc(b, Circuit::GROUND, SourceWave::Dc(b_in));
+        nand.build(&mut ckt, &[a, b], z, vdd);
+        let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+        let vz = node_voltage(&x, z);
+        if expect_high {
+            assert!(vz > 0.9 * VDD, "NAND({a_in},{b_in}) high, got {vz}");
+        } else {
+            assert!(vz < 0.1 * VDD, "NAND({a_in},{b_in}) low, got {vz}");
+        }
+    }
+}
+
+#[test]
+fn nor_gate_truth_table() {
+    use pcv_cells::library::CellLibrary;
+    let lib = CellLibrary::standard_025();
+    let nor = lib.cell("NOR2X2").unwrap();
+    for (a_in, b_in, expect_high) in [
+        (0.0, 0.0, true),
+        (0.0, VDD, false),
+        (VDD, 0.0, false),
+        (VDD, VDD, false),
+    ] {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let z = ckt.node("z");
+        ckt.add_vsrc(vdd, Circuit::GROUND, SourceWave::Dc(VDD));
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(a_in));
+        ckt.add_vsrc(b, Circuit::GROUND, SourceWave::Dc(b_in));
+        nor.build(&mut ckt, &[a, b], z, vdd);
+        let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+        let vz = node_voltage(&x, z);
+        if expect_high {
+            assert!(vz > 0.9 * VDD, "NOR({a_in},{b_in}) high, got {vz}");
+        } else {
+            assert!(vz < 0.1 * VDD, "NOR({a_in},{b_in}) low, got {vz}");
+        }
+    }
+}
+
+#[test]
+fn termination_capacitance_loads_the_circuit() {
+    // Capacitive terminations must slow an RC edge like explicit caps.
+    let run = |cap_term: Option<&CapacitiveTermination>| -> f64 {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsrc(a, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.add_resistor(a, b, 1000.0);
+        ckt.add_capacitor(b, Circuit::GROUND, 0.5e-12);
+        let mut sim = Simulator::new(&ckt);
+        if let Some(t) = cap_term {
+            sim.add_termination(b, t);
+        }
+        let res = sim.transient(20e-9, &SimOptions::default()).unwrap();
+        res.waveform(b).crossing(0.5, true, 0.0).unwrap()
+    };
+    let bare = run(None);
+    let term = CapacitiveTermination::new(0.5e-12);
+    let loaded = run(Some(&term));
+    assert!(
+        (loaded / bare - 2.0).abs() < 0.05,
+        "termination doubles tau: {bare} -> {loaded}"
+    );
+}
+
+#[test]
+fn energy_conservation_in_rc_charge() {
+    // Charging a cap through a resistor: final stored energy CV²/2 and the
+    // waveform never overshoots the source.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_vsrc(a, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.add_resistor(a, b, 500.0);
+    ckt.add_capacitor(b, Circuit::GROUND, 2e-12);
+    let res = Simulator::new(&ckt).transient(10e-9, &SimOptions::default()).unwrap();
+    let w = res.waveform(b);
+    let (_, peak) = w.max();
+    assert!(peak <= 1.0 + 1e-3, "passive RC never overshoots: {peak}");
+    assert!(w.value_at(10e-9) > 0.99);
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of simulator invariants over randomized linear
+//! circuits: passivity, superposition, and step-size robustness.
+
+use pcv_netlist::{Circuit, NodeId, SourceWave};
+use pcv_spice::{SimOptions, Simulator};
+use proptest::prelude::*;
+
+/// Build a random RC ladder driven by a step source; returns the circuit
+/// and the far-end node.
+fn ladder(
+    n: usize,
+    res: &[f64],
+    caps: &[f64],
+    v_step: f64,
+    rise: f64,
+) -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.add_vsrc(src, Circuit::GROUND, SourceWave::step(0.0, v_step, 0.2e-9, rise));
+    let mut prev = src;
+    let mut last = src;
+    for k in 0..n {
+        let node = ckt.node(&format!("n{k}"));
+        ckt.add_resistor(prev, node, res[k % res.len()]);
+        ckt.add_capacitor(node, Circuit::GROUND, caps[k % caps.len()]);
+        prev = node;
+        last = node;
+    }
+    (ckt, last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rc_ladder_output_is_passive_and_settles(
+        n in 1usize..8,
+        res in prop::collection::vec(50.0f64..2e3, 8),
+        caps in prop::collection::vec(1e-15f64..50e-15, 8),
+        v_step in 0.5f64..3.0,
+        rise in 1e-11f64..5e-10,
+    ) {
+        let (ckt, far) = ladder(n, &res, &caps, v_step, rise);
+        // Simulate long enough for the slowest plausible tau.
+        let tau: f64 = res.iter().take(n).sum::<f64>() * caps.iter().take(n).sum::<f64>();
+        let tstop = (20.0 * tau).max(5e-9);
+        let result = Simulator::new(&ckt).transient(tstop, &SimOptions::default()).unwrap();
+        let w = result.waveform(far);
+        // Passive RC never exceeds the source value.
+        let (_, peak) = w.max();
+        prop_assert!(peak <= v_step * (1.0 + 1e-3), "no overshoot: {} vs {}", peak, v_step);
+        let (_, low) = w.min();
+        prop_assert!(low >= -1e-3, "never below ground: {}", low);
+        // And settles at the source value.
+        prop_assert!((w.value_at(tstop) - v_step).abs() < 0.02 * v_step);
+    }
+
+    #[test]
+    fn superposition_holds_on_linear_circuits(
+        r1 in 100.0f64..2e3,
+        r2 in 100.0f64..2e3,
+        r3 in 100.0f64..2e3,
+        va in -2.0f64..2.0,
+        vb in -2.0f64..2.0,
+    ) {
+        // Bridge: a --r1-- m --r2-- b, m --r3-- gnd.
+        let solve = |sa: f64, sb: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let m = ckt.node("m");
+            ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(sa));
+            ckt.add_vsrc(b, Circuit::GROUND, SourceWave::Dc(sb));
+            ckt.add_resistor(a, m, r1);
+            ckt.add_resistor(b, m, r2);
+            ckt.add_resistor(m, Circuit::GROUND, r3);
+            let x = Simulator::new(&ckt).dc(&SimOptions::default()).unwrap();
+            x[m.index()]
+        };
+        let both = solve(va, vb);
+        let only_a = solve(va, 0.0);
+        let only_b = solve(0.0, vb);
+        prop_assert!(
+            (both - only_a - only_b).abs() < 1e-6,
+            "superposition: {} vs {} + {}", both, only_a, only_b
+        );
+    }
+
+    #[test]
+    fn tighter_stepping_changes_results_little(
+        r in 200.0f64..2e3,
+        c in 5e-15f64..200e-15,
+    ) {
+        // Same RC edge at two step budgets: measurements must agree closely
+        // (integration-order sanity).
+        let run = |max_step_fraction: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsrc(a, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.1e-9, 0.05e-9));
+            ckt.add_resistor(a, b, r);
+            ckt.add_capacitor(b, Circuit::GROUND, c);
+            let opts = SimOptions { max_step_fraction, ..Default::default() };
+            let tstop = (10.0 * r * c).max(2e-9);
+            let res = Simulator::new(&ckt).transient(tstop, &opts).unwrap();
+            res.waveform(b).crossing(0.5, true, 0.0).unwrap()
+        };
+        let coarse = run(1.0 / 300.0);
+        let fine = run(1.0 / 3000.0);
+        prop_assert!(
+            (coarse - fine).abs() <= 0.02 * fine.max(1e-12),
+            "step-size independence: {} vs {}", coarse, fine
+        );
+    }
+
+    #[test]
+    fn current_source_charge_balance(
+        i_amp in 1e-6f64..1e-3,
+        c in 10e-15f64..500e-15,
+        dur in 0.2e-9f64..2e-9,
+    ) {
+        // A rectangular current pulse into a lone capacitor deposits Q = I·t,
+        // so V = Q/C afterward (charge conservation through the integrator).
+        let mut ckt = Circuit::new();
+        let node = ckt.node("n");
+        ckt.add_capacitor(node, Circuit::GROUND, c);
+        ckt.add_isrc(
+            Circuit::GROUND,
+            node,
+            SourceWave::Pulse {
+                v0: 0.0,
+                v1: i_amp,
+                delay: 0.2e-9,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: dur,
+                period: f64::INFINITY,
+            },
+        );
+        let tstop = 0.2e-9 + dur + 1e-9;
+        let res = Simulator::new(&ckt).transient(tstop, &SimOptions::default()).unwrap();
+        let v_final = res.waveform(node).value_at(tstop);
+        let expect = i_amp * (dur + 1e-12) / c; // trapezoid area incl. edges
+        // gmin leakage makes the node sag slightly; allow 3%.
+        prop_assert!(
+            (v_final - expect).abs() <= 0.03 * expect,
+            "charge balance: {} vs {}", v_final, expect
+        );
+    }
+}

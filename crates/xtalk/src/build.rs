@@ -1,0 +1,235 @@
+//! Cluster assembly: from a pruned [`Cluster`] to the [`RcCluster`] the
+//! engines analyze.
+//!
+//! Member nets contribute their wire RC; couplings between members stay as
+//! coupling capacitors; couplings to non-members are grounded at the member
+//! node (conservative decoupling); receiver pin capacitance is lumped at
+//! each net's load nodes. Ports are the driver pin of every member (victim
+//! first) plus one observation port at the victim's receiver.
+
+use crate::prune::Cluster;
+use pcv_mor::RcCluster;
+use pcv_netlist::{ParasiticDb, PNetId};
+
+/// A cluster ready for analysis: the RC network plus the port roles.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// The assembled RC network.
+    pub rc: RcCluster,
+    /// Member nets, victim first (parallel to `driver_ports`).
+    pub members: Vec<PNetId>,
+    /// Port index of each member's driver pin.
+    pub driver_ports: Vec<usize>,
+    /// Port index observing the victim's receiver pin.
+    pub observe_port: usize,
+    /// Node offset of each member inside the flat RC node space.
+    pub offsets: Vec<usize>,
+}
+
+impl ClusterModel {
+    /// Port index of the victim driver.
+    pub fn victim_port(&self) -> usize {
+        self.driver_ports[0]
+    }
+
+    /// Port indices of the aggressor drivers.
+    pub fn aggressor_ports(&self) -> &[usize] {
+        &self.driver_ports[1..]
+    }
+}
+
+/// Assemble a cluster.
+///
+/// `load_cap` returns the total receiver pin capacitance to lump at each
+/// member net's load nodes (e.g. summed input caps of the cells the net
+/// fans out to); return `0.0` when unknown.
+///
+/// When `ground_couplings` is set, even member-to-member couplings are
+/// grounded — the *decoupled* analysis mode of Table 2.
+///
+/// # Panics
+///
+/// Panics if the database and cluster are inconsistent (programmer error).
+pub fn build_cluster(
+    db: &ParasiticDb,
+    cluster: &Cluster,
+    load_cap: &dyn Fn(PNetId) -> f64,
+    ground_couplings: bool,
+) -> ClusterModel {
+    let members = cluster.members();
+    let mut rc = RcCluster::new();
+    let mut offsets = Vec::with_capacity(members.len());
+
+    // Wire RC of each member.
+    for &m in &members {
+        let net = db.net(m);
+        let offset = rc.num_nodes();
+        offsets.push(offset);
+        for _ in 0..net.num_nodes() {
+            rc.add_node();
+        }
+        for &(a, b, ohms) in net.resistors() {
+            rc.add_resistor(offset + a, offset + b, ohms).expect("valid net resistor");
+        }
+        for &(n, c) in net.ground_caps() {
+            if c > 0.0 {
+                rc.add_ground_cap(offset + n, c).expect("valid net cap");
+            }
+        }
+        // Receiver pin loading, split across the net's load pins.
+        let pins = net.load_nodes();
+        let total = load_cap(m);
+        if total > 0.0 && !pins.is_empty() {
+            let per = total / pins.len() as f64;
+            for &pin in pins {
+                rc.add_ground_cap(offset + pin, per).expect("valid load cap");
+            }
+        }
+    }
+
+    // Couplings: member-to-member kept (unless decoupled mode), the rest
+    // grounded at the member side.
+    let member_idx = |net: PNetId| members.iter().position(|&m| m == net);
+    for c in db.couplings() {
+        let ia = member_idx(c.a.net);
+        let ib = member_idx(c.b.net);
+        match (ia, ib) {
+            (Some(a), Some(b)) => {
+                let na = offsets[a] + c.a.node;
+                let nb = offsets[b] + c.b.node;
+                if ground_couplings {
+                    if c.farads > 0.0 {
+                        rc.add_ground_cap(na, c.farads).expect("valid decoupled cap");
+                        rc.add_ground_cap(nb, c.farads).expect("valid decoupled cap");
+                    }
+                } else if c.farads > 0.0 {
+                    rc.add_capacitor(na, nb, c.farads).expect("valid coupling cap");
+                }
+            }
+            (Some(a), None) => {
+                if c.farads > 0.0 {
+                    rc.add_ground_cap(offsets[a] + c.a.node, c.farads)
+                        .expect("valid decoupled cap");
+                }
+            }
+            (None, Some(b)) => {
+                if c.farads > 0.0 {
+                    rc.add_ground_cap(offsets[b] + c.b.node, c.farads)
+                        .expect("valid decoupled cap");
+                }
+            }
+            (None, None) => {}
+        }
+    }
+
+    // Ports: driver pin of every member, then the victim observation pin.
+    let mut driver_ports = Vec::with_capacity(members.len());
+    for (k, &m) in members.iter().enumerate() {
+        let net = db.net(m);
+        driver_ports.push(rc.add_port(offsets[k] + net.driver_node()));
+    }
+    let vic = db.net(members[0]);
+    let observe_node = vic
+        .load_nodes()
+        .first()
+        .copied()
+        .unwrap_or_else(|| vic.driver_node());
+    let observe_port = rc.add_port(offsets[0] + observe_node);
+
+    ClusterModel { rc, members, driver_ports, observe_port, offsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::{prune_victim, PruneConfig};
+    use pcv_netlist::{NetNodeRef, NetParasitics};
+
+    fn pair_db() -> (ParasiticDb, PNetId, PNetId) {
+        let mut db = ParasiticDb::new();
+        let mut v = NetParasitics::new("v");
+        let v1 = v.add_node();
+        v.add_resistor(0, v1, 150.0);
+        v.add_ground_cap(v1, 10e-15);
+        v.mark_load(v1);
+        let vid = db.add_net(v);
+        let mut a = NetParasitics::new("a");
+        let a1 = a.add_node();
+        a.add_resistor(0, a1, 250.0);
+        a.add_ground_cap(a1, 12e-15);
+        let aid = db.add_net(a);
+        db.add_coupling(
+            NetNodeRef { net: vid, node: 1 },
+            NetNodeRef { net: aid, node: 1 },
+            20e-15,
+        );
+        (db, vid, aid)
+    }
+
+    #[test]
+    fn basic_assembly_shapes() {
+        let (db, vid, aid) = pair_db();
+        let cluster = prune_victim(&db, vid, &PruneConfig::default());
+        let model = build_cluster(&db, &cluster, &|_| 0.0, false);
+        assert_eq!(model.members, vec![vid, aid]);
+        assert_eq!(model.rc.num_nodes(), 4);
+        assert_eq!(model.rc.num_ports(), 3); // 2 drivers + observe
+        assert_eq!(model.victim_port(), 0);
+        assert_eq!(model.aggressor_ports(), &[1]);
+        // Observe port is the victim load node.
+        assert_eq!(model.rc.ports()[model.observe_port], 1);
+    }
+
+    #[test]
+    fn load_caps_are_lumped_at_pins() {
+        let (db, vid, _) = pair_db();
+        let cluster = prune_victim(&db, vid, &PruneConfig::default());
+        let with_loads = build_cluster(&db, &cluster, &|n| if n == vid { 5e-15 } else { 0.0 }, false);
+        let without = build_cluster(&db, &cluster, &|_| 0.0, false);
+        let delta = with_loads.rc.total_ground_cap() - without.rc.total_ground_cap();
+        assert!((delta - 5e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn decoupled_mode_grounds_member_couplings() {
+        let (db, vid, _) = pair_db();
+        let cluster = prune_victim(&db, vid, &PruneConfig::default());
+        let coupled = build_cluster(&db, &cluster, &|_| 0.0, false);
+        let decoupled = build_cluster(&db, &cluster, &|_| 0.0, true);
+        // Grounding adds the coupling cap at *both* ends.
+        let delta = decoupled.rc.total_ground_cap() - coupled.rc.total_ground_cap();
+        assert!((delta - 40e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn external_couplings_are_grounded_on_member_side() {
+        let (mut db, vid, _) = pair_db();
+        // A third net coupled weakly to the victim driver node; pruning will
+        // decouple it.
+        let w = db.add_net(NetParasitics::new("weak"));
+        db.add_coupling(
+            NetNodeRef { net: vid, node: 0 },
+            NetNodeRef { net: w, node: 0 },
+            0.01e-15,
+        );
+        let cluster = prune_victim(&db, vid, &PruneConfig::default());
+        assert_eq!(cluster.aggressors.len(), 1);
+        let model = build_cluster(&db, &cluster, &|_| 0.0, false);
+        // Weak coupling appears as grounded cap: total ground cap includes it.
+        let total = model.rc.total_ground_cap();
+        assert!((total - (10e-15 + 12e-15 + 0.01e-15)).abs() < 1e-28);
+    }
+
+    #[test]
+    fn victim_without_loads_observes_driver_pin() {
+        let mut db = ParasiticDb::new();
+        let mut v = NetParasitics::new("v");
+        let v1 = v.add_node();
+        v.add_resistor(0, v1, 100.0);
+        v.add_ground_cap(v1, 1e-15);
+        let vid = db.add_net(v);
+        let cluster = prune_victim(&db, vid, &PruneConfig::default());
+        let model = build_cluster(&db, &cluster, &|_| 0.0, false);
+        assert_eq!(model.rc.ports()[model.observe_port], 0);
+    }
+}

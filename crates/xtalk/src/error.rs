@@ -1,0 +1,90 @@
+//! Error type for the crosstalk verification flow.
+
+use std::fmt;
+
+/// Errors produced during crosstalk analysis.
+#[derive(Debug)]
+pub enum XtalkError {
+    /// Model-order reduction or reduced simulation failed.
+    Mor(pcv_mor::MorError),
+    /// The SPICE reference engine failed.
+    Spice(pcv_spice::SimError),
+    /// A referenced cell was not found in the (characterized) library.
+    Cells(pcv_cells::CellError),
+    /// The victim waveform never produced the requested measurement.
+    Measurement {
+        /// What was being measured.
+        what: &'static str,
+    },
+    /// A net needed a driver but the design declares none.
+    NoDriver {
+        /// Name of the driverless net.
+        net: String,
+    },
+    /// The requested configuration is inconsistent (e.g. transistor-level
+    /// drivers with the reduced-order engine).
+    InvalidConfig {
+        /// What is inconsistent.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for XtalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XtalkError::Mor(e) => write!(f, "reduced-order engine failed: {e}"),
+            XtalkError::Spice(e) => write!(f, "spice engine failed: {e}"),
+            XtalkError::Cells(e) => write!(f, "cell model failure: {e}"),
+            XtalkError::Measurement { what } => write!(f, "could not measure {what}"),
+            XtalkError::NoDriver { net } => write!(f, "net {net:?} has no driver"),
+            XtalkError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for XtalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XtalkError::Mor(e) => Some(e),
+            XtalkError::Spice(e) => Some(e),
+            XtalkError::Cells(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcv_mor::MorError> for XtalkError {
+    fn from(e: pcv_mor::MorError) -> Self {
+        XtalkError::Mor(e)
+    }
+}
+
+impl From<pcv_spice::SimError> for XtalkError {
+    fn from(e: pcv_spice::SimError) -> Self {
+        XtalkError::Spice(e)
+    }
+}
+
+impl From<pcv_cells::CellError> for XtalkError {
+    fn from(e: pcv_cells::CellError) -> Self {
+        XtalkError::Cells(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = XtalkError::NoDriver { net: "x".into() };
+        assert!(e.to_string().contains("x"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = XtalkError::Mor(pcv_mor::MorError::NoPorts);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = XtalkError::Measurement { what: "crossing" };
+        assert!(e.to_string().contains("crossing"));
+        let e = XtalkError::InvalidConfig { what: "mix" };
+        assert!(e.to_string().contains("mix"));
+    }
+}

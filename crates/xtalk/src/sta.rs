@@ -1,0 +1,241 @@
+//! STA-lite: derive per-net switching windows from the design topology and
+//! the characterized delay tables.
+//!
+//! The paper reduces pessimism with "logic and timing correlation
+//! information"; the timing half needs arrival windows for every net. This
+//! module propagates `(earliest, latest)` arrival times from the primary
+//! inputs through the cell graph using the characterized delays — a small
+//! block-level static timing analysis, sufficient to feed
+//! [`crate::analysis::plan_aggressors`].
+
+use crate::analysis::AnalysisContext;
+use crate::error::XtalkError;
+use pcv_netlist::design::NetId;
+use pcv_netlist::Design;
+
+/// STA options.
+#[derive(Debug, Clone)]
+pub struct StaOptions {
+    /// Arrival window assumed at primary inputs (nets with no driver).
+    pub input_window: (f64, f64),
+    /// Input slew used for all table lookups (seconds).
+    pub input_slew: f64,
+    /// Relaxation pass budget (bounds combinational loops).
+    pub max_passes: usize,
+}
+
+impl Default for StaOptions {
+    fn default() -> Self {
+        StaOptions { input_window: (0.0, 0.5e-9), input_slew: 0.2e-9, max_passes: 64 }
+    }
+}
+
+/// Compute arrival windows for every design net.
+///
+/// Uses the [`AnalysisContext`]'s characterized library for cell delays and
+/// its parasitic database for net loading; nets the analysis cannot reach
+/// (no driver and not a primary input of any instance) get `None`.
+///
+/// # Errors
+///
+/// Returns [`XtalkError::InvalidConfig`] without design/library data, and
+/// propagates missing cell characterization.
+pub fn compute_windows(
+    ctx: &AnalysisContext<'_>,
+    opts: &StaOptions,
+) -> Result<Vec<Option<(f64, f64)>>, XtalkError> {
+    let (Some(design), Some(_lib), Some(charlib)) = (ctx.design, ctx.lib, ctx.charlib) else {
+        return Err(XtalkError::InvalidConfig {
+            what: "sta needs design, library and characterization data",
+        });
+    };
+    let n = design.num_nets();
+    let mut windows: Vec<Option<(f64, f64)>> = vec![None; n];
+
+    // Primary inputs: no driver.
+    for k in 0..n {
+        if design.drivers_of(NetId(k)).is_empty() {
+            windows[k] = Some(opts.input_window);
+        }
+    }
+
+    // Relaxation passes: recompute every driven net's window from its
+    // drivers' input windows until a fixed point (or the pass budget).
+    for _pass in 0..opts.max_passes {
+        let mut changed = false;
+        for k in 0..n {
+            let net = NetId(k);
+            let drivers = design.drivers_of(net);
+            if drivers.is_empty() {
+                continue;
+            }
+            // Net loading from the parasitic view plus receiver pins.
+            let load = ctx
+                .db
+                .find_net(design.net_name(net))
+                .map(|p| ctx.db.total_cap(p))
+                .unwrap_or(0.0)
+                + ctx
+                    .db
+                    .find_net(design.net_name(net))
+                    .map(|p| ctx.load_cap(p))
+                    .unwrap_or(0.0);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut any = false;
+            for &inst_id in drivers {
+                let inst = design.instance(inst_id);
+                let Some(ch) = charlib.cell(&inst.cell) else {
+                    continue;
+                };
+                let (d_rise, _) = ch.timing.lookup(opts.input_slew, load, true);
+                let (d_fall, _) = ch.timing.lookup(opts.input_slew, load, false);
+                let delay_min = d_rise.min(d_fall).max(0.0);
+                let delay_max = d_rise.max(d_fall).max(0.0);
+                for &inp in &inst.inputs {
+                    if let Some((a, b)) = windows[inp.0] {
+                        lo = lo.min(a + delay_min);
+                        hi = hi.max(b + delay_max);
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                let new = Some((lo, hi));
+                if windows[k].map_or(true, |(a, b)| {
+                    (a - lo).abs() > 1e-15 || (b - hi).abs() > 1e-15
+                }) {
+                    windows[k] = new;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(windows)
+}
+
+/// Apply computed windows onto the design (skipping `None` entries).
+pub fn apply_windows(design: &mut Design, windows: &[Option<(f64, f64)>]) {
+    for (k, w) in windows.iter().enumerate() {
+        if let Some((a, b)) = w {
+            design.set_window(NetId(k), *a, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::DriverModelKind;
+    use pcv_cells::charlib::{characterize, CharLibrary};
+    use pcv_cells::library::CellLibrary;
+    use pcv_netlist::{NetParasitics, ParasiticDb};
+
+    /// A 3-stage inverter chain: pi -> n1 -> n2 -> n3.
+    fn chain() -> (Design, ParasiticDb, CellLibrary, CharLibrary) {
+        let mut design = Design::new("chain");
+        let pi = design.add_net("pi");
+        let n1 = design.add_net("n1");
+        let n2 = design.add_net("n2");
+        let n3 = design.add_net("n3");
+        design.add_instance("u1", "INVX2", vec![pi], Some(n1), false);
+        design.add_instance("u2", "INVX2", vec![n1], Some(n2), false);
+        design.add_instance("u3", "INVX2", vec![n2], Some(n3), false);
+
+        let mut db = ParasiticDb::new();
+        for name in ["pi", "n1", "n2", "n3"] {
+            let mut net = NetParasitics::new(name);
+            let k = net.add_node();
+            net.add_resistor(0, k, 100.0);
+            net.add_ground_cap(k, 5e-15);
+            net.mark_load(k);
+            db.add_net(net);
+        }
+        let lib = CellLibrary::standard_025();
+        let mut charlib = CharLibrary::default();
+        charlib.insert(characterize(lib.cell("INVX2").unwrap()).unwrap());
+        (design, db, lib, charlib)
+    }
+
+    #[test]
+    fn windows_accumulate_stage_delay_along_a_chain() {
+        let (design, db, lib, charlib) = chain();
+        let ctx = AnalysisContext::with_design(
+            &db,
+            &design,
+            &lib,
+            &charlib,
+            DriverModelKind::Nonlinear,
+        );
+        let opts = StaOptions::default();
+        let w = compute_windows(&ctx, &opts).unwrap();
+        let pi = design.find_net("pi").unwrap();
+        let n1 = design.find_net("n1").unwrap();
+        let n3 = design.find_net("n3").unwrap();
+        assert_eq!(w[pi.0], Some(opts.input_window));
+        let (a1, b1) = w[n1.0].unwrap();
+        let (a3, b3) = w[n3.0].unwrap();
+        assert!(a1 > opts.input_window.0, "stage adds delay");
+        assert!(b1 > opts.input_window.1);
+        assert!(a3 > a1 && b3 > b1, "later stages arrive later");
+        // Three stages ≈ 3x one stage's shift.
+        let shift1 = a1 - opts.input_window.0;
+        let shift3 = a3 - opts.input_window.0;
+        assert!((shift3 / shift1 - 3.0).abs() < 0.5, "{shift1} vs {shift3}");
+    }
+
+    #[test]
+    fn apply_windows_round_trips() {
+        let (mut design, db, lib, charlib) = chain();
+        let ctx = AnalysisContext::with_design(
+            &db,
+            &design,
+            &lib,
+            &charlib,
+            DriverModelKind::Nonlinear,
+        );
+        let w = compute_windows(&ctx, &StaOptions::default()).unwrap();
+        apply_windows(&mut design, &w);
+        let n2 = design.find_net("n2").unwrap();
+        assert_eq!(design.window(n2), w[n2.0]);
+    }
+
+    #[test]
+    fn sta_requires_full_context() {
+        let db = ParasiticDb::new();
+        let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+        assert!(matches!(
+            compute_windows(&ctx, &StaOptions::default()),
+            Err(XtalkError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_loop_terminates() {
+        // a drives b, b drives a: the relaxation must stop at the pass
+        // budget rather than hang.
+        let mut design = Design::new("loop");
+        let a = design.add_net("a");
+        let b = design.add_net("b");
+        design.add_instance("u1", "INVX2", vec![a], Some(b), false);
+        design.add_instance("u2", "INVX2", vec![b], Some(a), false);
+        let db = ParasiticDb::new();
+        let lib = CellLibrary::standard_025();
+        let mut charlib = CharLibrary::default();
+        charlib.insert(characterize(lib.cell("INVX2").unwrap()).unwrap());
+        let ctx = AnalysisContext::with_design(
+            &db,
+            &design,
+            &lib,
+            &charlib,
+            DriverModelKind::Nonlinear,
+        );
+        let opts = StaOptions { max_passes: 8, ..Default::default() };
+        // No primary inputs → no windows ever form; must return quickly.
+        let w = compute_windows(&ctx, &opts).unwrap();
+        assert!(w.iter().all(|x| x.is_none()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Full-flow DSP sign-off: generate a DSP-like block, pre-characterize the
+//! cells its drivers use, and run the chip-level crosstalk audit on every
+//! latch-input victim with the nonlinear cell model — the paper's Section 5
+//! flow end to end.
+//!
+//! Run with: `cargo run --release -p pcv-bench --example dsp_chip_signoff`
+
+use pcv_bench::charlib_for;
+use pcv_cells::library::CellLibrary;
+use pcv_designs::dsp::{generate, DspConfig};
+use pcv_designs::Technology;
+use pcv_netlist::PNetId;
+use pcv_xtalk::drivers::DriverModelKind;
+use pcv_xtalk::prune::PruneConfig;
+use pcv_xtalk::{verify_chip, AnalysisContext, AnalysisOptions, XtalkError};
+
+fn main() -> Result<(), XtalkError> {
+    let tech = Technology::c025();
+    let lib = CellLibrary::standard_025();
+
+    println!("generating DSP-like block...");
+    let block = generate(
+        &DspConfig { n_buses: 3, bus_bits: 12, n_random_nets: 40, ..Default::default() },
+        &tech,
+        &lib,
+    );
+    println!(
+        "  {} nets, {} instances, {} coupling caps",
+        block.parasitics.num_nets(),
+        block.design.num_instances(),
+        block.parasitics.couplings().len()
+    );
+
+    println!("pre-characterizing driver cells (one-time task)...");
+    let charlib = charlib_for(&[
+        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4",
+        "NOR2X2", "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
+    ]);
+    println!("  {} cells characterized", charlib.len());
+
+    // Audit every latch-input victim (the state-corruption hazard).
+    let victims: Vec<PNetId> = block
+        .latch_victims()
+        .into_iter()
+        .map(|d| {
+            block
+                .parasitics
+                .find_net(block.design.net_name(d))
+                .expect("views are aligned")
+        })
+        .collect();
+    println!("auditing {} latch-input victims...", victims.len());
+
+    let ctx = AnalysisContext::with_design(
+        &block.parasitics,
+        &block.design,
+        &lib,
+        &charlib,
+        DriverModelKind::Nonlinear,
+    );
+    let report = verify_chip(
+        &ctx,
+        &victims,
+        &PruneConfig::default(),
+        &AnalysisOptions::default(),
+        0.10,
+        0.20,
+    )?;
+
+    print!("{}", report.to_text());
+    println!(
+        "\n{} violations, {} total flagged — pruning kept clusters at {:.1} nets on average",
+        report.num_violations(),
+        report.flagged().count(),
+        report.pruning.mean_after
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Cross-crate integration: parasitics written to SPEF-lite and re-read
+//! must produce bit-identical analysis results — the exchange-format
+//! decoupling a production flow relies on.
+
+use pcv_designs::random::{random_cluster, RandomClusterConfig};
+use pcv_designs::structures::sandwich;
+use pcv_designs::Technology;
+use pcv_netlist::spef::{parse_spef, write_spef};
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
+use pcv_xtalk::{analyze_glitch, AnalysisContext, AnalysisOptions};
+
+#[test]
+fn spef_round_trip_preserves_analysis_results() {
+    let tech = Technology::c025();
+    let db = sandwich(800e-6, &tech);
+    let text = write_spef(&db);
+    let db2 = parse_spef(&text).expect("round trip parses");
+
+    let run = |db: &pcv_netlist::ParasiticDb| -> f64 {
+        let victim = db.find_net("v").unwrap();
+        let cluster = prune_victim(db, victim, &PruneConfig::default());
+        let ctx = AnalysisContext::fixed_resistance(db, 1000.0);
+        analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default())
+            .expect("analysis succeeds")
+            .peak
+    };
+    let before = run(&db);
+    let after = run(&db2);
+    assert!(
+        (before - after).abs() < 1e-9,
+        "identical results through SPEF: {before} vs {after}"
+    );
+}
+
+#[test]
+fn spef_round_trip_on_random_clusters() {
+    let tech = Technology::c025();
+    for seed in [3u64, 17, 99] {
+        let cl = random_cluster(
+            &RandomClusterConfig { n_aggressors: 5, seed, ..Default::default() },
+            &tech,
+        );
+        let text = write_spef(&cl.db);
+        let db2 = parse_spef(&text).expect("round trip parses");
+        assert_eq!(db2.num_nets(), cl.db.num_nets());
+        assert_eq!(db2.couplings().len(), cl.db.couplings().len());
+        let v = db2.find_net("victim").unwrap();
+        assert!(
+            (db2.total_cap(v) - cl.db.total_cap(cl.victim)).abs() < 1e-28,
+            "total capacitance preserved"
+        );
+    }
+}
+
+#[test]
+fn spef_text_is_human_auditable() {
+    let tech = Technology::c025();
+    let db = sandwich(200e-6, &tech);
+    let text = write_spef(&db);
+    assert!(text.starts_with("*SPEF"));
+    assert!(text.contains("*NET v"));
+    assert!(text.contains("*CC"));
+    // Every record type round-trips through a comment-tolerant parse.
+    let commented = format!("// generated\n{text}");
+    assert!(parse_spef(&commented).is_ok());
+}
