@@ -1,41 +1,83 @@
-//! Engine speedup bench: the SyMPVL reduced transient versus the full
+//! Engine benches.
+//!
+//! Part 1 — analysis engines: the SyMPVL reduced transient versus the full
 //! SPICE MNA transient on the same pruned cluster with identical 1 kOhm
 //! Thevenin drivers — the wall-clock basis of the paper's 15-25x claims.
+//!
+//! Part 2 — chip engine: the serial `verify_chip` sweep versus the
+//! `pcv-engine` work-stealing pool at several worker counts, plus a
+//! warm-cache re-run (every cluster unchanged → every job a cache hit).
+//!
+//! Run with: `cargo bench -p pcv-bench --bench engines`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcv_bench::timing::bench_case;
 use pcv_designs::random::{random_cluster, RandomClusterConfig};
+use pcv_designs::structures::bundle;
 use pcv_designs::Technology;
+use pcv_engine::{Engine, EngineConfig};
 use pcv_xtalk::prune::{prune_victim, PruneConfig};
-use pcv_xtalk::{analyze_glitch, AnalysisContext, AnalysisOptions, EngineKind};
+use pcv_xtalk::{analyze_glitch, verify_chip, AnalysisContext, AnalysisOptions, EngineKind};
 
-fn bench_engines(c: &mut Criterion) {
-    let tech = Technology::c025();
-    let mut group = c.benchmark_group("glitch_analysis");
-    group.sample_size(10);
+fn bench_analysis_engines(tech: &Technology) {
     for n_agg in [2usize, 6, 12] {
         let cl = random_cluster(
             &RandomClusterConfig { n_aggressors: n_agg, seed: 99, ..Default::default() },
-            &tech,
+            tech,
         );
-        let cluster = prune_victim(
-            &cl.db,
-            cl.victim,
-            &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 },
-        );
+        let cluster =
+            prune_victim(&cl.db, cl.victim, &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 });
         let ctx = AnalysisContext::fixed_resistance(&cl.db, 1000.0);
-        group.bench_with_input(BenchmarkId::new("mpvl", n_agg), &n_agg, |b, _| {
-            b.iter(|| {
-                analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap()
-            })
+        bench_case("glitch_analysis", &format!("mpvl/{n_agg}"), 10, || {
+            analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap()
         });
         let spice_opts =
             AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
-        group.bench_with_input(BenchmarkId::new("spice", n_agg), &n_agg, |b, _| {
-            b.iter(|| analyze_glitch(&ctx, &cluster, true, &spice_opts).unwrap())
+        bench_case("glitch_analysis", &format!("spice/{n_agg}"), 10, || {
+            analyze_glitch(&ctx, &cluster, true, &spice_opts).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);
+fn bench_chip_engine(tech: &Technology) {
+    // A bus bundle gives every wire real aggressors, so each victim job
+    // carries an actual reduction + transient.
+    let db = bundle(16, 2000e-6, tech);
+    let victims: Vec<_> = (0..db.num_nets()).map(pcv_netlist::PNetId).collect();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let prune = PruneConfig::default();
+    let opts = AnalysisOptions::default();
+
+    bench_case("chip_engine", "serial", 5, || {
+        verify_chip(&ctx, &victims, &prune, &opts, 0.1, 0.2).unwrap()
+    });
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::new(EngineConfig { workers, ..Default::default() });
+        bench_case("chip_engine", &format!("workers={workers}"), 5, || {
+            engine.verify(&ctx, &victims).unwrap()
+        });
+    }
+
+    // Warm cache: prime the store once, then measure re-runs where every
+    // cluster is unchanged and every job is answered from the cache.
+    let cache_path = std::env::temp_dir().join("pcv-engine-bench-cache");
+    let _ = std::fs::remove_file(&cache_path);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_path: Some(cache_path.clone()),
+        ..Default::default()
+    });
+    let primed = engine.verify(&ctx, &victims).unwrap();
+    assert_eq!(primed.stats.cache_misses, victims.len());
+    bench_case("chip_engine", "workers=4+warm-cache", 5, || {
+        let report = engine.verify(&ctx, &victims).unwrap();
+        assert_eq!(report.stats.cache_hits, victims.len());
+        report
+    });
+    let _ = std::fs::remove_file(&cache_path);
+}
+
+fn main() {
+    let tech = Technology::c025();
+    bench_analysis_engines(&tech);
+    bench_chip_engine(&tech);
+}

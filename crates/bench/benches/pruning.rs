@@ -1,13 +1,15 @@
 //! Pruning and extraction throughput on the DSP-like block, plus the
 //! pruning-threshold ablation (cost of keeping more aggressors).
+//!
+//! Run with: `cargo bench -p pcv-bench --bench pruning`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcv_bench::timing::bench_case;
 use pcv_cells::library::CellLibrary;
 use pcv_designs::dsp::{generate, DspConfig};
 use pcv_designs::Technology;
 use pcv_xtalk::prune::{prune_all, PruneConfig};
 
-fn bench_pruning(c: &mut Criterion) {
+fn main() {
     let tech = Technology::c025();
     let lib = CellLibrary::standard_025();
     let block = generate(
@@ -15,29 +17,18 @@ fn bench_pruning(c: &mut Criterion) {
         &tech,
         &lib,
     );
-    let mut group = c.benchmark_group("prune_all");
     for ratio in [0.0f64, 0.02, 0.1] {
-        group.bench_with_input(
-            BenchmarkId::new("cap_ratio", format!("{ratio}")),
-            &ratio,
-            |b, &r| {
-                let cfg = PruneConfig { cap_ratio: r, max_aggressors: 12 };
-                b.iter(|| prune_all(&block.parasitics, &cfg))
-            },
-        );
+        let cfg = PruneConfig { cap_ratio: ratio, max_aggressors: 12 };
+        bench_case("prune_all", &format!("cap_ratio={ratio}"), 20, || {
+            prune_all(&block.parasitics, &cfg)
+        });
     }
-    group.finish();
 
-    c.bench_function("dsp_generate_and_extract", |b| {
-        b.iter(|| {
-            generate(
-                &DspConfig { n_buses: 2, bus_bits: 8, n_random_nets: 40, ..Default::default() },
-                &tech,
-                &lib,
-            )
-        })
+    bench_case("dsp", "generate_and_extract", 10, || {
+        generate(
+            &DspConfig { n_buses: 2, bus_bits: 8, n_random_nets: 40, ..Default::default() },
+            &tech,
+            &lib,
+        )
     });
 }
-
-criterion_group!(benches, bench_pruning);
-criterion_main!(benches);

@@ -1,14 +1,16 @@
 //! Ablation bench: SyMPVL reduction cost versus Krylov order and cluster
 //! size, plus the cost split between reduction and reduced integration.
+//!
+//! Run with: `cargo bench -p pcv-bench --bench reduction`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcv_bench::timing::bench_case;
 use pcv_designs::structures::bundle;
 use pcv_mor::{simulate, sympvl, MorOptions, RcCluster};
 use pcv_netlist::termination::TheveninTermination;
 use pcv_netlist::SourceWave;
 use pcv_netlist::Termination;
-use pcv_xtalk::prune::{prune_victim, PruneConfig};
 use pcv_xtalk::build_cluster;
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
 
 fn cluster(n_wires: usize) -> RcCluster {
     let db = bundle(n_wires, 1500e-6, &pcv_designs::Technology::c025());
@@ -17,24 +19,20 @@ fn cluster(n_wires: usize) -> RcCluster {
     build_cluster(&db, &pruned, &|_| 0.0, false).rc
 }
 
-fn bench_reduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sympvl_reduce");
+fn main() {
     for order in [1usize, 2, 4, 8] {
         let rc = cluster(4);
-        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &o| {
-            b.iter(|| sympvl::reduce(&rc, o).unwrap())
+        bench_case("sympvl_reduce", &format!("order={order}"), 20, || {
+            sympvl::reduce(&rc, order).unwrap()
         });
     }
     for wires in [3usize, 6, 10] {
         let rc = cluster(wires);
-        group.bench_with_input(BenchmarkId::new("wires", wires), &wires, |b, _| {
-            b.iter(|| sympvl::reduce(&rc, 4).unwrap())
+        bench_case("sympvl_reduce", &format!("wires={wires}"), 20, || {
+            sympvl::reduce(&rc, 4).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_reduced_transient(c: &mut Criterion) {
     let rc = cluster(4);
     let rom = sympvl::reduce(&rc, 4).unwrap().diagonalize().unwrap();
     let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 2.5, 1e-9, 0.2e-9));
@@ -42,10 +40,7 @@ fn bench_reduced_transient(c: &mut Criterion) {
     let mut terms: Vec<Option<&dyn Termination>> = vec![None; rom.num_ports()];
     terms[0] = Some(&drv);
     terms[1] = Some(&hold);
-    c.bench_function("reduced_transient_10ns", |b| {
-        b.iter(|| simulate(&rom, &terms, 10e-9, &MorOptions::default()).unwrap())
+    bench_case("reduced_transient", "10ns", 20, || {
+        simulate(&rom, &terms, 10e-9, &MorOptions::default()).unwrap()
     });
 }
-
-criterion_group!(benches, bench_reduce, bench_reduced_transient);
-criterion_main!(benches);

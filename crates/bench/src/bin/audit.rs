@@ -30,7 +30,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = args
         .iter()
-        .find(|a| !a.starts_with("--") && !a.parse::<f64>().is_ok())
+        .find(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
         .ok_or("usage: audit <parasitics.spef> [--drive ohms] [--warn frac] [--fail frac] [--ratio r] [--csv]")?;
     let drive = parse_flag(&args, "--drive", 1000.0)?;
     let warn = parse_flag(&args, "--warn", 0.10)?;
@@ -40,12 +40,7 @@ fn run() -> Result<(), String> {
 
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let db = parse_spef(&text).map_err(|e| e.to_string())?;
-    eprintln!(
-        "loaded {}: {} nets, {} coupling caps",
-        path,
-        db.num_nets(),
-        db.couplings().len()
-    );
+    eprintln!("loaded {}: {} nets, {} coupling caps", path, db.num_nets(), db.couplings().len());
 
     let victims: Vec<PNetId> = (0..db.num_nets()).map(PNetId).collect();
     let ctx = AnalysisContext::fixed_resistance(&db, drive);

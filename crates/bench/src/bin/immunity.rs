@@ -17,8 +17,8 @@ fn main() {
     println!();
     for name in ["INVX1", "INVX4", "INVX16", "BUFX4", "NAND2X4", "NOR2X4"] {
         let cell = lib.cell(name).expect("cell exists");
-        let curve = noise_immunity_curve(cell, &widths, 0.0, vdd, 0.5)
-            .expect("immunity analysis succeeds");
+        let curve =
+            noise_immunity_curve(cell, &widths, 0.0, vdd, 0.5).expect("immunity analysis succeeds");
         print!("{name:>10}");
         for p in &curve {
             if p.critical_amplitude.is_finite() {

@@ -89,7 +89,8 @@ pub fn ordering_fill() -> (usize, usize, usize) {
 
 /// Render the ablation report.
 pub fn to_text(rows: &[OrderRow], fill: (usize, usize, usize)) -> String {
-    let mut out = String::from("Ablation 1: reduction accuracy vs Krylov order (2 GHz, 2 mm cluster)\n");
+    let mut out =
+        String::from("Ablation 1: reduction accuracy vs Krylov order (2 GHz, 2 mm cluster)\n");
     out.push_str("  iters   lanczos(order, max rel err)    arnoldi(order, max rel err)\n");
     for r in rows {
         out.push_str(&format!(
@@ -122,10 +123,7 @@ mod tests {
         );
         // At equal block count Lanczos is at least as accurate as Arnoldi
         // (two moments per block vs one) on most rows.
-        let wins = rows
-            .iter()
-            .filter(|r| r.lanczos_err <= r.arnoldi_err * 1.5 + 1e-12)
-            .count();
+        let wins = rows.iter().filter(|r| r.lanczos_err <= r.arnoldi_err * 1.5 + 1e-12).count();
         assert!(wins * 2 >= rows.len(), "lanczos competitive in {wins}/{} rows", rows.len());
     }
 

@@ -73,10 +73,7 @@ impl Fig3 {
     /// The case with the largest |error| — Figure 4/5 plots its waveforms.
     pub fn worst_case(&self) -> Option<&Case> {
         self.cases.iter().max_by(|a, b| {
-            a.err_pct()
-                .abs()
-                .partial_cmp(&b.err_pct().abs())
-                .expect("finite errors")
+            a.err_pct().abs().partial_cmp(&b.err_pct().abs()).expect("finite errors")
         })
     }
 
@@ -130,12 +127,11 @@ pub fn run(scale: Scale) -> Fig3 {
         let cluster = prune_victim(&cl.db, cl.victim, &prune);
 
         let mor_opts = AnalysisOptions::default();
-        let mor = analyze_glitch(&ctx, &cluster, true, &mor_opts)
-            .expect("mpvl analysis succeeds");
+        let mor = analyze_glitch(&ctx, &cluster, true, &mor_opts).expect("mpvl analysis succeeds");
         let spice_opts =
             AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
-        let spice = analyze_glitch(&ctx, &cluster, true, &spice_opts)
-            .expect("spice analysis succeeds");
+        let spice =
+            analyze_glitch(&ctx, &cluster, true, &spice_opts).expect("spice analysis succeeds");
         if spice.peak.abs() < 0.02 {
             continue; // no meaningful crosstalk in this random draw
         }
@@ -187,16 +183,12 @@ mod tests {
             let ctx = AnalysisContext::fixed_resistance(&cl.db, 1000.0);
             let prune = PruneConfig { cap_ratio: 0.0, max_aggressors: 12 };
             let cluster = prune_victim(&cl.db, cl.victim, &prune);
-            let mor = analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default())
-                .unwrap();
-            let spice_opts = AnalysisOptions {
-                engine: EngineKind::Spice,
-                ..AnalysisOptions::default()
-            };
+            let mor = analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap();
+            let spice_opts =
+                AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
             let spice = analyze_glitch(&ctx, &cluster, true, &spice_opts).unwrap();
             if spice.peak.abs() > 0.02 {
-                worst = worst
-                    .max((spice.peak - mor.peak).abs() / spice.peak.abs() * 100.0);
+                worst = worst.max((spice.peak - mor.peak).abs() / spice.peak.abs() * 100.0);
             }
         }
         assert!(worst < 3.0, "engines should agree within a few %: {worst}");

@@ -66,10 +66,8 @@ pub fn run(fig3_result: &fig3::Fig3) -> Fig45 {
     let cluster = prune_victim(&cl.db, cl.victim, &prune);
     let mor = analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default())
         .expect("mpvl analysis succeeds");
-    let spice_opts =
-        AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
-    let spice =
-        analyze_glitch(&ctx, &cluster, true, &spice_opts).expect("spice analysis succeeds");
+    let spice_opts = AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
+    let spice = analyze_glitch(&ctx, &cluster, true, &spice_opts).expect("spice analysis succeeds");
     Fig45 { case_index: worst.index, spice: spice.waveform, mpvl: mor.waveform }
 }
 

@@ -120,8 +120,8 @@ pub fn run(scale: Scale) -> (Distribution, Distribution) {
     let tech = Technology::c025();
     let lib = CellLibrary::standard_025();
     let charlib = charlib_for(&[
-        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4",
-        "NOR2X2", "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
+        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4", "NOR2X2",
+        "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
     ]);
     let block = generate(
         &DspConfig { n_buses: 5, bus_bits: 16, n_random_nets: 80, ..Default::default() },
@@ -136,10 +136,8 @@ pub fn run(scale: Scale) -> (Distribution, Distribution) {
     let mut rise_cases = Vec::new();
     let mut fall_cases = Vec::new();
     for &victim in victims.iter().take(wanted) {
-        let pnet = block
-            .parasitics
-            .find_net(block.design.net_name(victim))
-            .expect("views are aligned");
+        let pnet =
+            block.parasitics.find_net(block.design.net_name(victim)).expect("views are aligned");
         let cluster = prune_victim(&block.parasitics, pnet, &PruneConfig::default());
         if cluster.aggressors.is_empty() {
             continue;

@@ -35,11 +35,7 @@ pub fn run() -> Vec<ThresholdPoint> {
             let clusters = prune_all(&block.parasitics, &cfg);
             let mean_decoupled = clusters.iter().map(|c| c.decoupled_cap).sum::<f64>()
                 / clusters.len().max(1) as f64;
-            ThresholdPoint {
-                cap_ratio,
-                stats: PruningStats::compute(&clusters),
-                mean_decoupled,
-            }
+            ThresholdPoint { cap_ratio, stats: PruningStats::compute(&clusters), mean_decoupled }
         })
         .collect()
 }

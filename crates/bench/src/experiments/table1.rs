@@ -40,17 +40,10 @@ pub fn run() -> Vec<Row> {
 
 /// Format paper-style rows.
 pub fn to_text(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "Table 1: coupled wire length vs peak glitch (Fig. 1 structure)\n",
-    );
+    let mut out = String::from("Table 1: coupled wire length vs peak glitch (Fig. 1 structure)\n");
     out.push_str("  ckt     length      glitch\n");
     for (k, &(len, peak)) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  ckt{:<4} {:>7.0} um {:>8.3} V\n",
-            k + 1,
-            len * 1e6,
-            peak
-        ));
+        out.push_str(&format!("  ckt{:<4} {:>7.0} um {:>8.3} V\n", k + 1, len * 1e6, peak));
     }
     out
 }
@@ -72,8 +65,7 @@ mod tests {
             let ctx = structure_context(&fx, &lib, &charlib, DriverModelKind::Nonlinear);
             let victim = fx.db.find_net("v").unwrap();
             let cluster = prune_victim(&fx.db, victim, &PruneConfig::default());
-            let res =
-                analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap();
+            let res = analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap();
             peaks.push(res.peak);
         }
         assert!(

@@ -46,9 +46,7 @@ pub fn run_length(length: f64, tech: &Technology) -> Row {
     let ctx = AnalysisContext::fixed_resistance(&db, 500.0);
     let opts = AnalysisOptions { tstop: 20e-9, ..Default::default() };
     let delay = |rising: bool, mode: DelayMode| -> f64 {
-        analyze_delay(&ctx, &cluster, rising, mode, &opts)
-            .expect("delay analysis succeeds")
-            .delay
+        analyze_delay(&ctx, &cluster, rising, mode, &opts).expect("delay analysis succeeds").delay
     };
     Row {
         length,
@@ -61,11 +59,8 @@ pub fn run_length(length: f64, tech: &Technology) -> Row {
 
 /// Format paper-style rows.
 pub fn to_text(rows: &[Row]) -> String {
-    let mut out =
-        String::from("Table 2: interconnect delays, decoupled vs worst-case coupling\n");
-    out.push_str(
-        "  ckt     length   rise w/o     rise w/     fall w/o     fall w/\n",
-    );
+    let mut out = String::from("Table 2: interconnect delays, decoupled vs worst-case coupling\n");
+    out.push_str("  ckt     length   rise w/o     rise w/     fall w/o     fall w/\n");
     for (k, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  ckt{:<4} {:>6.0}um {:>9.4}ns {:>10.4}ns {:>11.4}ns {:>10.4}ns\n",

@@ -105,14 +105,13 @@ pub fn cells_for(scale: Scale) -> Vec<&'static str> {
     match scale {
         Scale::Quick => vec!["INVX1", "INVX4", "INVX16", "BUFX4", "NAND2X4", "NOR2X4"],
         Scale::Full => vec![
-            "INVX1", "INVX1.5", "INVX2", "INVX3", "INVX4", "INVX6", "INVX8", "INVX12",
-            "INVX16", "INVX20", "INVX24", "INVX32", "INVX40", "INVX48", "BUFX1", "BUFX2",
-            "BUFX3", "BUFX4", "BUFX6", "BUFX8", "BUFX12", "BUFX16", "BUFX20", "BUFX24",
-            "BUFX32", "BUFX40", "BUFX48", "NAND2X1", "NAND2X2", "NAND2X3", "NAND2X4",
-            "NAND2X6", "NAND2X8", "NAND2X12", "NAND2X16", "NAND2X20", "NAND2X24",
-            "NOR2X1", "NOR2X2", "NOR2X3", "NOR2X4", "NOR2X6", "NOR2X8", "NOR2X12",
-            "NOR2X16", "NOR2X20", "NOR2X24", "TBUFX2", "TBUFX4", "TBUFX8", "TBUFX16",
-            "TBUFX32",
+            "INVX1", "INVX1.5", "INVX2", "INVX3", "INVX4", "INVX6", "INVX8", "INVX12", "INVX16",
+            "INVX20", "INVX24", "INVX32", "INVX40", "INVX48", "BUFX1", "BUFX2", "BUFX3", "BUFX4",
+            "BUFX6", "BUFX8", "BUFX12", "BUFX16", "BUFX20", "BUFX24", "BUFX32", "BUFX40", "BUFX48",
+            "NAND2X1", "NAND2X2", "NAND2X3", "NAND2X4", "NAND2X6", "NAND2X8", "NAND2X12",
+            "NAND2X16", "NAND2X20", "NAND2X24", "NOR2X1", "NOR2X2", "NOR2X3", "NOR2X4", "NOR2X6",
+            "NOR2X8", "NOR2X12", "NOR2X16", "NOR2X20", "NOR2X24", "TBUFX2", "TBUFX4", "TBUFX8",
+            "TBUFX16", "TBUFX32",
         ],
     }
 }
@@ -146,8 +145,7 @@ pub fn run(model: DriverModelKind, scale: Scale) -> Study {
     names.dedup();
     let charlib: CharLibrary = charlib_for(&names);
     let opts_model = AnalysisOptions::default();
-    let opts_ref =
-        AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
+    let opts_ref = AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
 
     let mut cases = Vec::new();
     for cell in &cells {
@@ -156,12 +154,7 @@ pub fn run(model: DriverModelKind, scale: Scale) -> Study {
             let victim = fx.db.find_net("v").expect("victim exists");
             let cluster = prune_victim(&fx.db, victim, &PruneConfig::default());
 
-            let ref_ctx = structure_context(
-                &fx,
-                &lib,
-                &charlib,
-                DriverModelKind::TransistorLevel,
-            );
+            let ref_ctx = structure_context(&fx, &lib, &charlib, DriverModelKind::TransistorLevel);
             let reference = analyze_glitch(&ref_ctx, &cluster, true, &opts_ref)
                 .expect("reference analysis succeeds")
                 .peak;
@@ -170,12 +163,7 @@ pub fn run(model: DriverModelKind, scale: Scale) -> Study {
                 .expect("model analysis succeeds")
                 .peak;
             if reference.abs() >= 0.05 {
-                cases.push(Case {
-                    cell: cell.to_string(),
-                    length: len,
-                    reference,
-                    model: modeled,
-                });
+                cases.push(Case { cell: cell.to_string(), length: len, reference, model: modeled });
             }
         }
     }

@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn structure_fixture_wires_drivers() {
-        let fx = structure_fixture(200e-6, &Technology::c025(), "INVX2", "BUFX8", );
+        let fx = structure_fixture(200e-6, &Technology::c025(), "INVX2", "BUFX8");
         let v = fx.design.find_net("v").unwrap();
         assert_eq!(fx.design.drivers_of(v).len(), 1);
         assert!(fx.design.is_latch_input(v));

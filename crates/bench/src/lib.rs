@@ -16,12 +16,14 @@
 //! cargo run --release -p pcv-bench --bin pruning_stats
 //! ```
 //!
-//! Criterion benches (`cargo bench -p pcv-bench`) measure the engine
-//! speedups and the design-choice ablations called out in `DESIGN.md`.
+//! Wall-clock benches (`cargo bench -p pcv-bench`, plain `std::time`
+//! harnesses — see [`timing`]) measure the engine speedups and the
+//! design-choice ablations called out in `DESIGN.md`.
 
 #![deny(missing_docs)]
 
 pub mod experiments;
 pub mod fixtures;
+pub mod timing;
 
 pub use fixtures::{charlib_for, structure_context, StructureFixture};

@@ -1,0 +1,80 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds with zero external dependencies, so the benches
+//! under `benches/` are plain `fn main()` binaries (`harness = false`) that
+//! time closures with [`std::time::Instant`] and print one row per case.
+//! This is deliberately simple — median-of-N with a warmup pass — which is
+//! plenty for the order-of-magnitude engine-speedup claims the paper makes.
+
+use std::time::{Duration, Instant};
+
+/// Result of one timed case.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Median per-iteration wall time.
+    pub median: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+impl Timing {
+    /// Render a duration with an adaptive unit.
+    pub fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 10_000 {
+            format!("{ns} ns")
+        } else if ns < 10_000_000 {
+            format!("{:.1} us", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Time `f` for `iters` iterations (after one warmup call) and return the
+/// median and minimum per-iteration duration.
+pub fn time_case<T>(iters: usize, mut f: impl FnMut() -> T) -> Timing {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f()); // warmup
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    Timing { median: samples[samples.len() / 2], min: samples[0], iters }
+}
+
+/// Time a case and print a bench-style row: `group/name  median (min)`.
+pub fn bench_case<T>(group: &str, name: &str, iters: usize, f: impl FnMut() -> T) -> Timing {
+    let t = time_case(iters, f);
+    println!(
+        "{:<44} {:>12} (min {:>12}, n={})",
+        format!("{group}/{name}"),
+        Timing::fmt_duration(t.median),
+        Timing::fmt_duration(t.min),
+        t.iters
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_measures_and_formats() {
+        let t = time_case(3, || std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert_eq!(t.iters, 3);
+        assert!(t.min <= t.median);
+        assert!(Timing::fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(Timing::fmt_duration(Duration::from_micros(500)).contains("us"));
+        assert!(Timing::fmt_duration(Duration::from_millis(500)).contains("ms"));
+        assert!(Timing::fmt_duration(Duration::from_secs(500)).contains(" s"));
+    }
+}

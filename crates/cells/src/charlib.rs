@@ -34,9 +34,8 @@ pub const IV_POINTS: usize = 13;
 /// secant underestimates the triode conductance at `v ≈ 0` and `v ≈ Vdd`).
 pub fn iv_grid() -> Vec<f64> {
     // Fractions of Vdd.
-    const FRACS: [f64; IV_POINTS] = [
-        0.0, 0.03, 0.08, 0.16, 0.28, 0.42, 0.5, 0.58, 0.72, 0.84, 0.92, 0.97, 1.0,
-    ];
+    const FRACS: [f64; IV_POINTS] =
+        [0.0, 0.03, 0.08, 0.16, 0.28, 0.42, 0.5, 0.58, 0.72, 0.84, 0.92, 0.97, 1.0];
     FRACS.iter().map(|f| f * VDD).collect()
 }
 
@@ -347,7 +346,7 @@ fn calibrate_vin(
             v += dt * i / c_total;
             v = v.clamp(-0.5, VDD + 0.5);
             t += dt;
-            if step % 16 == 0 {
+            if step.is_multiple_of(16) {
                 times.push(t);
                 vals.push(v);
             }
@@ -378,7 +377,12 @@ fn calibrate_vin(
 
 /// One transient measurement: input edge with the given slew into the cell
 /// loaded by `load`; returns `(50 % delay, 10–90 % output slew)`.
-fn measure_edge(cell: &Cell, slew: f64, load: f64, out_rising: bool) -> Result<(f64, f64), CellError> {
+fn measure_edge(
+    cell: &Cell,
+    slew: f64,
+    load: f64,
+    out_rising: bool,
+) -> Result<(f64, f64), CellError> {
     // Output rises when the controlling input goes to the "asserting low"
     // level for inverting cells, high for non-inverting ones.
     let in_rising = if cell.kind.inverting() { !out_rising } else { out_rising };
@@ -398,11 +402,8 @@ fn measure_edge(cell: &Cell, slew: f64, load: f64, out_rising: bool) -> Result<(
         cell.build(&mut ckt, &inputs, out, vdd);
         ckt.add_capacitor(out, Circuit::GROUND, load.max(1e-18));
 
-        let res = Simulator::new(&ckt).transient_probed(
-            tstop,
-            &SimOptions::default(),
-            &[inp, out],
-        )?;
+        let res =
+            Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[inp, out])?;
         let win = res.waveform(inp);
         let wout = res.waveform(out);
         let t_in = win.crossing(0.5 * VDD, in_rising, 0.0);
@@ -473,8 +474,7 @@ fn bilinear(xs: &[f64], ys: &[f64], z: &Dense, x: f64, y: f64) -> f64 {
     let z10 = z[(i + 1, j)];
     let z01 = z[(i, j + 1)];
     let z11 = z[(i + 1, j + 1)];
-    z00 * (1.0 - fx) * (1.0 - fy) + z10 * fx * (1.0 - fy) + z01 * (1.0 - fx) * fy
-        + z11 * fx * fy
+    z00 * (1.0 - fx) * (1.0 - fy) + z10 * fx * (1.0 - fy) + z01 * (1.0 - fx) * fy + z11 * fx * fy
 }
 
 fn bracket(xs: &[f64], x: f64) -> usize {

@@ -92,9 +92,7 @@ pub fn write_liberty(lib: &CharLibrary) -> String {
             ch.cin,
             ch.cout
         ));
-        let list = |xs: &[f64]| {
-            xs.iter().map(|x| format!("{x:e}")).collect::<Vec<_>>().join(" ")
-        };
+        let list = |xs: &[f64]| xs.iter().map(|x| format!("{x:e}")).collect::<Vec<_>>().join(" ");
         out.push_str(&format!(
             "    rout_rise: {:e}; rout_fall: {:e};\n",
             ch.rout_rise, ch.rout_fall
@@ -141,12 +139,11 @@ struct CellBuilder {
 
 impl CellBuilder {
     fn finish(self, line: usize) -> Result<CharCell, ParseLibertyError> {
-        let err = |m: &str| ParseLibertyError { line, message: format!("{m} in cell {}", self.name) };
+        let err =
+            |m: &str| ParseLibertyError { line, message: format!("{m} in cell {}", self.name) };
         let matrix = |name: &str, rows: usize, cols: usize| -> Result<Dense, ParseLibertyError> {
-            let raw = self
-                .matrices
-                .get(name)
-                .ok_or_else(|| err(&format!("missing values ({name})")))?;
+            let raw =
+                self.matrices.get(name).ok_or_else(|| err(&format!("missing values ({name})")))?;
             if raw.len() != rows || raw.iter().any(|r| r.len() != cols) {
                 return Err(err(&format!("values ({name}) has wrong shape")));
             }
@@ -273,8 +270,7 @@ pub fn parse_liberty(text: &str) -> Result<CharLibrary, ParseLibertyError> {
             let value = value.trim();
             match key {
                 "kind" => {
-                    c.kind =
-                        Some(kind_from(value).ok_or_else(|| err("unknown cell kind"))?);
+                    c.kind = Some(kind_from(value).ok_or_else(|| err("unknown cell kind"))?);
                 }
                 "strength" => c.strength = Some(parse_floats(value, line)?[0]),
                 "cin" => c.cin = Some(parse_floats(value, line)?[0]),
@@ -345,8 +341,7 @@ mod tests {
 
     #[test]
     fn parse_errors_have_line_numbers() {
-        let e = parse_liberty("library (x) {\n  cell (A) {\n    bogus line\n  }\n}\n")
-            .unwrap_err();
+        let e = parse_liberty("library (x) {\n  cell (A) {\n    bogus line\n  }\n}\n").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("line 3"));
     }

@@ -97,13 +97,7 @@ impl Cell {
     ///
     /// Panics if the input count is wrong or the kind is [`CellKind::Latch`]
     /// (latches are receivers, not drivers).
-    pub fn build(
-        &self,
-        ckt: &mut Circuit,
-        inputs: &[NodeId],
-        output: NodeId,
-        vdd: NodeId,
-    ) {
+    pub fn build(&self, ckt: &mut Circuit, inputs: &[NodeId], output: NodeId, vdd: NodeId) {
         assert_eq!(inputs.len(), self.kind.num_inputs(), "input count mismatch");
         let (wn, wp) = self.widths();
         let gnd = Circuit::GROUND;
@@ -170,16 +164,28 @@ impl CellLibrary {
         let inv_strengths =
             [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0, 48.0];
         for &s in &inv_strengths {
-            lib.add(Cell { name: format!("INVX{}", fmt_x(s)), kind: CellKind::Inverter, strength: s });
+            lib.add(Cell {
+                name: format!("INVX{}", fmt_x(s)),
+                kind: CellKind::Inverter,
+                strength: s,
+            });
         }
         let buf_strengths =
             [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0, 48.0];
         for &s in &buf_strengths {
-            lib.add(Cell { name: format!("BUFX{}", fmt_x(s)), kind: CellKind::Buffer, strength: s });
+            lib.add(Cell {
+                name: format!("BUFX{}", fmt_x(s)),
+                kind: CellKind::Buffer,
+                strength: s,
+            });
         }
         let nand_strengths = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0];
         for &s in &nand_strengths {
-            lib.add(Cell { name: format!("NAND2X{}", fmt_x(s)), kind: CellKind::Nand2, strength: s });
+            lib.add(Cell {
+                name: format!("NAND2X{}", fmt_x(s)),
+                kind: CellKind::Nand2,
+                strength: s,
+            });
         }
         let nor_strengths = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0];
         for &s in &nor_strengths {
@@ -225,11 +231,7 @@ impl CellLibrary {
     /// Names of all *driver* cells (everything except latches), in name
     /// order — the population the characterization studies sweep.
     pub fn driver_names(&self) -> Vec<&str> {
-        self.cells
-            .values()
-            .filter(|c| c.kind != CellKind::Latch)
-            .map(|c| c.name.as_str())
-            .collect()
+        self.cells.values().filter(|c| c.kind != CellKind::Latch).map(|c| c.name.as_str()).collect()
     }
 }
 

@@ -99,11 +99,7 @@ impl NonlinearDriverModel {
             (true, true) | (false, false) => 0.0,
             (true, false) | (false, true) => vdd,
         };
-        NonlinearDriverModel {
-            iv: ch.iv.clone(),
-            cout: ch.cout,
-            vin_wave: SourceWave::Dc(vin),
-        }
+        NonlinearDriverModel { iv: ch.iv.clone(), cout: ch.cout, vin_wave: SourceWave::Dc(vin) }
     }
 
     /// The input waveform imposed on the model.
@@ -216,9 +212,8 @@ mod tests {
             prev = n;
         }
         ckt.add_capacitor(prev, Circuit::GROUND, 20e-15);
-        let spice = Simulator::new(&ckt)
-            .transient_probed(tstop, &SimOptions::default(), &[prev])
-            .unwrap();
+        let spice =
+            Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[prev]).unwrap();
         let t_ref = spice
             .waveform(prev)
             .crossing(0.5 * VDD, true, 0.0)
@@ -239,10 +234,8 @@ mod tests {
         let mut sim = Simulator::new(&ckt2);
         sim.add_termination(out2, &model);
         let res = sim.transient_probed(tstop, &SimOptions::default(), &[prev2]).unwrap();
-        let t_model = res
-            .waveform(prev2)
-            .crossing(0.5 * VDD, true, 0.0)
-            .expect("modeled output rises");
+        let t_model =
+            res.waveform(prev2).crossing(0.5 * VDD, true, 0.0).expect("modeled output rises");
 
         let rel = (t_model - t_ref).abs() / t_ref;
         assert!(rel < 0.10, "nonlinear model delay {t_model} vs ref {t_ref} ({rel})");
@@ -267,9 +260,8 @@ mod tests {
         ckt.add_vsrc(inp, Circuit::GROUND, SourceWave::step(VDD, 0.0, 1e-9, 0.25e-9));
         cell.build(&mut ckt, &[inp], out, vdd);
         ckt.add_capacitor(out, Circuit::GROUND, load);
-        let spice = Simulator::new(&ckt)
-            .transient_probed(tstop, &SimOptions::default(), &[out])
-            .unwrap();
+        let spice =
+            Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[out]).unwrap();
         let t_ref = spice.waveform(out).crossing(0.5 * VDD, true, 0.0).unwrap();
 
         let run_model = |term: &dyn Termination| -> f64 {
@@ -278,9 +270,7 @@ mod tests {
             ckt2.add_capacitor(out2, Circuit::GROUND, load);
             let mut sim = Simulator::new(&ckt2);
             sim.add_termination(out2, term);
-            let res = sim
-                .transient_probed(tstop, &SimOptions::default(), &[out2])
-                .unwrap();
+            let res = sim.transient_probed(tstop, &SimOptions::default(), &[out2]).unwrap();
             res.waveform(out2).crossing(0.5 * VDD, true, 0.0).unwrap()
         };
         let lin = LinearDriverModel::switching(&ch, true, 1e-9, 0.2e-9, VDD);

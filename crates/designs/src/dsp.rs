@@ -19,8 +19,7 @@ use crate::extract::{extract, WireGeom};
 use crate::tech::Technology;
 use pcv_cells::library::CellLibrary;
 use pcv_netlist::{Design, NetId, ParasiticDb};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pcv_rng::Rng;
 
 /// Configuration of the generated block.
 #[derive(Debug, Clone)]
@@ -70,11 +69,8 @@ impl DspBlock {
 /// Panics on a degenerate configuration (zero buses *and* zero random
 /// nets, or zero bus bits with buses requested).
 pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlock {
-    assert!(
-        cfg.n_buses * cfg.bus_bits + cfg.n_random_nets > 0,
-        "configuration generates no nets"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    assert!(cfg.n_buses * cfg.bus_bits + cfg.n_random_nets > 0, "configuration generates no nets");
+    let mut rng = Rng::new(cfg.seed);
     let mut wires: Vec<WireGeom> = Vec::new();
     let mut next_track: i64 = 0;
 
@@ -88,18 +84,13 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
 
     // --- Bus groups: parallel full-length wires at minimum pitch. ---
     for b in 0..cfg.n_buses {
-        let len = rng.gen_range(800e-6..3000e-6);
-        let x0 = rng.gen_range(0.0..200e-6);
+        let len = rng.range_f64(800e-6, 3000e-6);
+        let x0 = rng.range_f64(0.0, 200e-6);
         for bit in 0..cfg.bus_bits {
             let name = format!("bus{b}_{bit}");
             wires.push(WireGeom::min_width(&name, next_track, x0, x0 + len, tech));
             next_track += 1;
-            plans.push(NetPlan {
-                name,
-                is_bus: true,
-                latch_load: true,
-                complement_of: None,
-            });
+            plans.push(NetPlan { name, is_bus: true, latch_load: true, complement_of: None });
         }
         next_track += 3; // routing gap between buses
     }
@@ -107,13 +98,13 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
     // --- Random logic nets, some as complementary pairs. ---
     let mut i = 0;
     while i < cfg.n_random_nets {
-        let len = rng.gen_range(60e-6..1500e-6);
-        let x0 = rng.gen_range(0.0..500e-6);
+        let len = rng.range_f64(60e-6, 1500e-6);
+        let x0 = rng.range_f64(0.0, 500e-6);
         let name = format!("net{i}");
         wires.push(WireGeom::min_width(&name, next_track, x0, x0 + len, tech));
         next_track += 1;
-        let latch_load = rng.gen_bool(0.3);
-        let make_pair = rng.gen_bool(0.15) && i + 1 < cfg.n_random_nets;
+        let latch_load = rng.bool_with(0.3);
+        let make_pair = rng.bool_with(0.15) && i + 1 < cfg.n_random_nets;
         plans.push(NetPlan { name, is_bus: false, latch_load, complement_of: None });
         if make_pair {
             // The complementary net runs alongside (classic Q/QB routing).
@@ -130,8 +121,8 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
         }
         i += 1;
         // Occasional routing gap so not everything couples.
-        if rng.gen_bool(0.4) {
-            next_track += rng.gen_range(1..4);
+        if rng.bool_with(0.4) {
+            next_track += rng.range_usize(1, 4) as i64;
         }
     }
 
@@ -139,8 +130,7 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
 
     // --- Gate-level view. ---
     let mut design = Design::new("dsp_block");
-    let net_ids: Vec<NetId> =
-        parasitics.iter().map(|(_, n)| design.add_net(n.name())).collect();
+    let net_ids: Vec<NetId> = parasitics.iter().map(|(_, n)| design.add_net(n.name())).collect();
 
     // Primary inputs feeding the drivers (no parasitics of their own).
     let pi: Vec<NetId> = (0..8).map(|k| design.add_net(format!("pi{k}"))).collect();
@@ -148,18 +138,18 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
     let inv_like = ["INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12"];
     let gate_like = ["NAND2X2", "NAND2X4", "NOR2X2", "NOR2X4"];
     let tbufs = ["TBUFX4", "TBUFX8", "TBUFX16"];
-    let pick = |rng: &mut StdRng, list: &[&str]| -> String {
-        list[rng.gen_range(0..list.len())].to_owned()
+    let pick = |rng: &mut Rng, list: &[&str]| -> String {
+        list[rng.range_usize(0, list.len())].to_owned()
     };
 
     for (k, plan) in plans.iter().enumerate() {
         let net = net_ids[k];
         if plan.is_bus {
             // Bus design style: several tri-state drivers, one latch.
-            let n_drv = rng.gen_range(2..=4);
+            let n_drv = rng.range_usize(2, 5);
             for d in 0..n_drv {
                 let cell = pick(&mut rng, &tbufs);
-                let inp = pi[rng.gen_range(0..pi.len())];
+                let inp = pi[rng.range_usize(0, pi.len())];
                 design.add_instance(
                     format!("{}_drv{d}", plan.name),
                     cell,
@@ -169,11 +159,12 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
                 );
             }
         } else {
-            let use_gate = rng.gen_bool(0.3);
-            let cell = if use_gate { pick(&mut rng, &gate_like) } else { pick(&mut rng, &inv_like) };
+            let use_gate = rng.bool_with(0.3);
+            let cell =
+                if use_gate { pick(&mut rng, &gate_like) } else { pick(&mut rng, &inv_like) };
             let n_inputs = lib.cell(&cell).map_or(1, |c| c.kind.num_inputs());
             let inputs: Vec<NetId> =
-                (0..n_inputs).map(|_| pi[rng.gen_range(0..pi.len())]).collect();
+                (0..n_inputs).map(|_| pi[rng.range_usize(0, pi.len())]).collect();
             design.add_instance(format!("{}_drv", plan.name), cell, inputs, Some(net), false);
         }
         // Loads.
@@ -181,20 +172,14 @@ pub fn generate(cfg: &DspConfig, tech: &Technology, lib: &CellLibrary) -> DspBlo
             design.add_instance(format!("{}_lat", plan.name), "LATCH", vec![net], None, false);
             design.mark_latch_input(net);
         }
-        let extra_loads = rng.gen_range(0..=2);
+        let extra_loads = rng.range_usize(0, 3);
         for l in 0..extra_loads {
             let cell = pick(&mut rng, &inv_like);
-            design.add_instance(
-                format!("{}_ld{l}", plan.name),
-                cell,
-                vec![net],
-                None,
-                false,
-            );
+            design.add_instance(format!("{}_ld{l}", plan.name), cell, vec![net], None, false);
         }
         // Switching window inside the cycle.
-        let w0 = rng.gen_range(0.0..0.6 * cfg.cycle);
-        let w1 = w0 + rng.gen_range(0.05 * cfg.cycle..0.35 * cfg.cycle);
+        let w0 = rng.range_f64(0.0, 0.6 * cfg.cycle);
+        let w1 = w0 + rng.range_f64(0.05 * cfg.cycle, 0.35 * cfg.cycle);
         design.set_window(net, w0, w1.min(cfg.cycle));
         if let Some(other) = plan.complement_of {
             design.set_complementary(net, net_ids[other]);
@@ -281,11 +266,7 @@ mod tests {
         let b = block();
         for (pid, pnet) in b.parasitics.iter() {
             let did = b.design.find_net(pnet.name()).unwrap();
-            assert!(
-                !b.design.drivers_of(did).is_empty(),
-                "net {} must be driven",
-                pnet.name()
-            );
+            assert!(!b.design.drivers_of(did).is_empty(), "net {} must be driven", pnet.name());
             let _ = pid;
         }
     }

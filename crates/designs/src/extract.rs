@@ -30,7 +30,13 @@ impl WireGeom {
     /// # Panics
     ///
     /// Panics unless `x1 > x0`.
-    pub fn min_width(name: impl Into<String>, track: i64, x0: f64, x1: f64, tech: &Technology) -> Self {
+    pub fn min_width(
+        name: impl Into<String>,
+        track: i64,
+        x0: f64,
+        x1: f64,
+        tech: &Technology,
+    ) -> Self {
         assert!(x1 > x0, "wire must have positive extent");
         WireGeom { name: name.into(), track, x0, x1, width: tech.min_width }
     }
@@ -267,11 +273,7 @@ mod tests {
         let db = extract(&[a, b], &t, 50e-6);
         // Many distinct coupling caps, touching interior nodes.
         assert!(db.couplings().len() >= 15);
-        let interior = db
-            .couplings()
-            .iter()
-            .filter(|c| c.a.node > 0 && c.a.node < 20)
-            .count();
+        let interior = db.couplings().iter().filter(|c| c.a.node > 0 && c.a.node < 20).count();
         assert!(interior > 10);
     }
 
@@ -295,8 +297,7 @@ mod tests {
             })
             .map(|c| c.farads)
             .sum::<f64>();
-        let delta =
-            folded.net(fa).total_ground_cap() - raw.net(raw_a).total_ground_cap();
+        let delta = folded.net(fa).total_ground_cap() - raw.net(raw_a).total_ground_cap();
         assert!((delta - shield_cc).abs() < 1e-28, "{delta} vs {shield_cc}");
         // Direct a<->b coupling (2 tracks apart) is preserved.
         let direct_raw: f64 = raw

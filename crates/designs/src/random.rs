@@ -7,9 +7,8 @@
 
 use crate::extract::{extract, WireGeom};
 use crate::tech::Technology;
-use pcv_netlist::{ParasiticDb, PNetId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pcv_netlist::{PNetId, ParasiticDb};
+use pcv_rng::Rng;
 
 /// Configuration for a random coupled cluster.
 #[derive(Debug, Clone)]
@@ -26,12 +25,7 @@ pub struct RandomClusterConfig {
 
 impl Default for RandomClusterConfig {
     fn default() -> Self {
-        RandomClusterConfig {
-            n_aggressors: 4,
-            min_len: 200e-6,
-            max_len: 2000e-6,
-            seed: 1,
-        }
+        RandomClusterConfig { n_aggressors: 4, min_len: 200e-6, max_len: 2000e-6, seed: 1 }
     }
 }
 
@@ -55,12 +49,9 @@ pub struct RandomCluster {
 /// non-positive.
 pub fn random_cluster(cfg: &RandomClusterConfig, tech: &Technology) -> RandomCluster {
     assert!(cfg.n_aggressors >= 1, "need at least one aggressor");
-    assert!(
-        cfg.min_len > 0.0 && cfg.max_len >= cfg.min_len,
-        "invalid length bounds"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let vic_len = rng.gen_range(cfg.min_len..=cfg.max_len);
+    assert!(cfg.min_len > 0.0 && cfg.max_len >= cfg.min_len, "invalid length bounds");
+    let mut rng = Rng::new(cfg.seed);
+    let vic_len = rng.range_f64(cfg.min_len, cfg.max_len);
     let mut wires = vec![WireGeom::min_width("victim", 0, 0.0, vic_len, tech)];
 
     for i in 0..cfg.n_aggressors {
@@ -69,9 +60,9 @@ pub fn random_cluster(cfg: &RandomClusterConfig, tech: &Technology) -> RandomClu
         let ring = (i / 2 + 1) as i64;
         let track = if i % 2 == 0 { ring } else { -ring };
         // Random span overlapping the victim.
-        let len = rng.gen_range(cfg.min_len..=cfg.max_len).min(vic_len * 1.5);
+        let len = rng.range_f64(cfg.min_len, cfg.max_len).min(vic_len * 1.5);
         let max_start = (vic_len - 0.3 * len).max(1e-6);
-        let x0 = rng.gen_range(0.0..max_start);
+        let x0 = rng.range_f64(0.0, max_start);
         wires.push(WireGeom::min_width(format!("agg{i}"), track, x0, x0 + len, tech));
     }
     let seg = (vic_len / 20.0).clamp(5e-6, 50e-6);
@@ -95,8 +86,7 @@ mod tests {
         let b = random_cluster(&cfg, &t);
         assert_eq!(a.db.num_nets(), b.db.num_nets());
         assert!(
-            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs()
-                < 1e-30
+            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs() < 1e-30
         );
     }
 
@@ -106,8 +96,7 @@ mod tests {
         let a = random_cluster(&RandomClusterConfig { seed: 1, ..Default::default() }, &t);
         let b = random_cluster(&RandomClusterConfig { seed: 2, ..Default::default() }, &t);
         assert!(
-            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs()
-                > 1e-18
+            (a.db.total_coupling_cap(a.victim) - b.db.total_coupling_cap(b.victim)).abs() > 1e-18
         );
     }
 

@@ -38,9 +38,8 @@ pub fn bundle(n: usize, length: f64, tech: &Technology) -> ParasiticDb {
     assert!(n > 0, "need at least one wire");
     assert!(length > 0.0, "length must be positive");
     let seg = (length / 20.0).clamp(5e-6, 50e-6);
-    let wires: Vec<WireGeom> = (0..n)
-        .map(|i| WireGeom::min_width(format!("w{i}"), i as i64, 0.0, length, tech))
-        .collect();
+    let wires: Vec<WireGeom> =
+        (0..n).map(|i| WireGeom::min_width(format!("w{i}"), i as i64, 0.0, length, tech)).collect();
     extract(&wires, tech, seg)
 }
 
@@ -124,9 +123,7 @@ mod tests {
             shielded.total_coupling_cap(vs),
             open.total_coupling_cap(vo)
         );
-        assert!(
-            shielded.net(vs).total_ground_cap() > open.net(vo).total_ground_cap()
-        );
+        assert!(shielded.net(vs).total_ground_cap() > open.net(vo).total_ground_cap());
     }
 
     #[test]

@@ -33,8 +33,8 @@ impl Technology {
             sheet_res: 0.07,
             min_width: 0.6e-6,
             min_spacing: 0.6e-6,
-            cg_per_len: 35e-12,            // 0.035 fF/µm
-            cc_per_len_min_space: 85e-12,  // 0.085 fF/µm
+            cg_per_len: 35e-12,           // 0.035 fF/µm
+            cc_per_len_min_space: 85e-12, // 0.085 fF/µm
             vdd: 2.5,
         }
     }

@@ -1,21 +1,23 @@
-//! Property-based tests of extraction invariants: conservation of totals
-//! under segmentation, coupling symmetry, and generator robustness.
+//! Randomized-property tests of extraction invariants: conservation of
+//! totals under segmentation, coupling symmetry, and generator robustness.
+//!
+//! Each test sweeps a seeded [`pcv_rng::Rng`] stream instead of an external
+//! property-testing framework so the workspace builds offline; the fixed
+//! seeds make every case reproducible.
 
 use pcv_designs::extract::{extract, fold_grounded_nets, WireGeom};
 use pcv_designs::random::{random_cluster, RandomClusterConfig};
 use pcv_designs::Technology;
-use proptest::prelude::*;
+use pcv_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn totals_are_segmentation_invariant(
-        len_um in 20.0f64..3000.0,
-        seg_a_um in 5.0f64..60.0,
-        seg_b_um in 5.0f64..60.0,
-    ) {
-        let t = Technology::c025();
+#[test]
+fn totals_are_segmentation_invariant() {
+    let t = Technology::c025();
+    let mut rng = Rng::new(0xD5161);
+    for _ in 0..32 {
+        let len_um = rng.range_f64(20.0, 3000.0);
+        let seg_a_um = rng.range_f64(5.0, 60.0);
+        let seg_b_um = rng.range_f64(5.0, 60.0);
         let wire = || WireGeom::min_width("w", 0, 0.0, len_um * 1e-6, &t);
         let a = extract(&[wire()], &t, seg_a_um * 1e-6);
         let b = extract(&[wire()], &t, seg_b_um * 1e-6);
@@ -23,19 +25,21 @@ proptest! {
         let nb = b.find_net("w").unwrap();
         let ra = a.net(na).total_resistance();
         let rb = b.net(nb).total_resistance();
-        prop_assert!((ra - rb).abs() <= 1e-9 * ra, "total R invariant: {} vs {}", ra, rb);
+        assert!((ra - rb).abs() <= 1e-9 * ra, "total R invariant: {ra} vs {rb}");
         let ca = a.net(na).total_ground_cap();
         let cb = b.net(nb).total_ground_cap();
-        prop_assert!((ca - cb).abs() <= 1e-9 * ca, "total C invariant: {} vs {}", ca, cb);
+        assert!((ca - cb).abs() <= 1e-9 * ca, "total C invariant: {ca} vs {cb}");
     }
+}
 
-    #[test]
-    fn coupling_total_is_segmentation_invariant(
-        len_um in 50.0f64..2000.0,
-        seg_a_um in 5.0f64..50.0,
-        seg_b_um in 5.0f64..50.0,
-    ) {
-        let t = Technology::c025();
+#[test]
+fn coupling_total_is_segmentation_invariant() {
+    let t = Technology::c025();
+    let mut rng = Rng::new(0xD5162);
+    for _ in 0..32 {
+        let len_um = rng.range_f64(50.0, 2000.0);
+        let seg_a_um = rng.range_f64(5.0, 50.0);
+        let seg_b_um = rng.range_f64(5.0, 50.0);
         let mk = |seg: f64| {
             let wires = vec![
                 WireGeom::min_width("a", 0, 0.0, len_um * 1e-6, &t),
@@ -47,16 +51,18 @@ proptest! {
         let db = mk(seg_b_um);
         let ca = da.total_coupling_cap(da.find_net("a").unwrap());
         let cb = db.total_coupling_cap(db.find_net("a").unwrap());
-        prop_assert!((ca - cb).abs() <= 1e-9 * ca, "coupling invariant: {} vs {}", ca, cb);
+        assert!((ca - cb).abs() <= 1e-9 * ca, "coupling invariant: {ca} vs {cb}");
     }
+}
 
-    #[test]
-    fn coupling_is_symmetric_between_partners(
-        len_a in 100.0f64..1500.0,
-        len_b in 100.0f64..1500.0,
-        offset in 0.0f64..500.0,
-    ) {
-        let t = Technology::c025();
+#[test]
+fn coupling_is_symmetric_between_partners() {
+    let t = Technology::c025();
+    let mut rng = Rng::new(0xD5163);
+    for _ in 0..32 {
+        let len_a = rng.range_f64(100.0, 1500.0);
+        let len_b = rng.range_f64(100.0, 1500.0);
+        let offset = rng.range_f64(0.0, 500.0);
         let wires = vec![
             WireGeom::min_width("a", 0, 0.0, len_a * 1e-6, &t),
             WireGeom::min_width("b", 1, offset * 1e-6, (offset + len_b) * 1e-6, &t),
@@ -64,17 +70,19 @@ proptest! {
         let db = extract(&wires, &t, 25e-6);
         let na = db.find_net("a").unwrap();
         let nb = db.find_net("b").unwrap();
-        prop_assert!(
+        assert!(
             (db.total_coupling_cap(na) - db.total_coupling_cap(nb)).abs() < 1e-28,
-            "both ends see the same coupling"
+            "both ends see the same coupling (lens {len_a}/{len_b} offset {offset})"
         );
     }
+}
 
-    #[test]
-    fn shield_folding_conserves_total_capacitance(
-        len_um in 100.0f64..2000.0,
-    ) {
-        let t = Technology::c025();
+#[test]
+fn shield_folding_conserves_total_capacitance() {
+    let t = Technology::c025();
+    let mut rng = Rng::new(0xD5164);
+    for _ in 0..32 {
+        let len_um = rng.range_f64(100.0, 2000.0);
         let wires = vec![
             WireGeom::min_width("a", 0, 0.0, len_um * 1e-6, &t),
             WireGeom::min_width("sh", 1, 0.0, len_um * 1e-6, &t),
@@ -89,27 +97,29 @@ proptest! {
         let fa = folded.find_net("a").unwrap();
         let before = raw.total_cap(ra);
         let after = folded.total_cap(fa);
-        prop_assert!((before - after).abs() <= 1e-12 * before, "{} vs {}", before, after);
+        assert!((before - after).abs() <= 1e-12 * before, "{before} vs {after}");
     }
+}
 
-    #[test]
-    fn random_clusters_are_well_formed(
-        n_agg in 1usize..12,
-        seed in 0u64..500,
-    ) {
-        let t = Technology::c025();
+#[test]
+fn random_clusters_are_well_formed() {
+    let t = Technology::c025();
+    let mut rng = Rng::new(0xD5165);
+    for _ in 0..32 {
+        let n_agg = rng.range_usize(1, 12);
+        let seed = rng.range_usize(0, 500) as u64;
         let cfg = RandomClusterConfig { n_aggressors: n_agg, seed, ..Default::default() };
         let cl = random_cluster(&cfg, &t);
-        prop_assert_eq!(cl.db.num_nets(), n_agg + 1);
-        prop_assert_eq!(cl.aggressors.len(), n_agg);
+        assert_eq!(cl.db.num_nets(), n_agg + 1);
+        assert_eq!(cl.aggressors.len(), n_agg);
         // The victim always has at least one coupled neighbor (the inner
         // aggressors sit on adjacent tracks overlapping the victim).
-        prop_assert!(!cl.db.neighbors(cl.victim).is_empty());
+        assert!(!cl.db.neighbors(cl.victim).is_empty());
         // Every net has positive wire resistance and capacitance.
         for (_, net) in cl.db.iter() {
-            prop_assert!(net.total_resistance() > 0.0);
-            prop_assert!(net.total_ground_cap() > 0.0);
-            prop_assert!(!net.load_nodes().is_empty());
+            assert!(net.total_resistance() > 0.0);
+            assert!(net.total_ground_cap() > 0.0);
+            assert!(!net.load_nodes().is_empty());
         }
     }
 }

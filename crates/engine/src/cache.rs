@@ -1,0 +1,241 @@
+//! On-disk incremental result cache.
+//!
+//! One entry per victim net, keyed by name and guarded by the cluster
+//! [fingerprint](crate::fingerprint): a hit requires the stored fingerprint
+//! to match the one recomputed from the current database, so any edit that
+//! could change the verdict — a coupling capacitor, wire RC, a driver cell,
+//! an analysis knob — invalidates exactly the entries it touches.
+//!
+//! The store is a line-oriented text file (`pcv-engine-cache v1`) with
+//! peaks serialized as `f64` bit patterns, so a cache round-trip is
+//! bit-exact. Loading is tolerant: a missing file is an empty cache and
+//! malformed lines are skipped, so a corrupt store degrades to cache
+//! misses, never to wrong verdicts.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Header line of the store format.
+const HEADER: &str = "pcv-engine-cache v1";
+
+/// Cached receiver verdict (mirrors [`pcv_xtalk::ReceiverVerdict`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedReceiver {
+    /// Receiver cell name.
+    pub cell: String,
+    /// Output peak bit pattern.
+    pub output_peak_bits: u64,
+    /// Whether the glitch propagates.
+    pub propagates: bool,
+}
+
+/// Cached analysis outcome for one victim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Fingerprint of the cluster + configuration that produced this entry.
+    pub fingerprint: u64,
+    /// Worst rising peak, as `f64` bits.
+    pub rise_bits: u64,
+    /// Worst falling peak, as `f64` bits.
+    pub fall_bits: u64,
+    /// Receiver check outcome, when one ran.
+    pub receiver: Option<CachedReceiver>,
+}
+
+/// In-memory cache: victim net name → entry.
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl ResultCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up an entry by victim name **and** fingerprint; a stale
+    /// fingerprint is a miss.
+    pub fn lookup(&self, name: &str, fingerprint: u64) -> Option<&CacheEntry> {
+        self.entries.get(name).filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Insert or replace an entry.
+    pub fn insert(&mut self, name: String, entry: CacheEntry) {
+        self.entries.insert(name, entry);
+    }
+
+    /// Load a cache from disk. A missing file yields an empty cache;
+    /// malformed lines are skipped.
+    pub fn load(path: &Path) -> Self {
+        let mut cache = Self::new();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return cache;
+        }
+        for line in lines {
+            if let Some((name, entry)) = parse_line(line) {
+                cache.insert(name, entry);
+            }
+        }
+        cache
+    }
+
+    /// Write the cache to disk, sorted by victim name so the file is
+    /// stable across runs. Errors are returned for the caller to surface
+    /// or ignore — a failed save only costs future hits.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut names: Vec<&String> = self.entries.keys().collect();
+        names.sort();
+        let mut out = String::with_capacity(64 * (1 + self.entries.len()));
+        out.push_str(HEADER);
+        out.push('\n');
+        for name in names {
+            let e = &self.entries[name];
+            let (cell, peak, prop) = match &e.receiver {
+                Some(r) => (
+                    r.cell.as_str(),
+                    format!("{:016x}", r.output_peak_bits),
+                    if r.propagates { "1" } else { "0" },
+                ),
+                None => ("-", "-".to_owned(), "-"),
+            };
+            out.push_str(&format!(
+                "{name}\t{:016x}\t{:016x}\t{:016x}\t{cell}\t{peak}\t{prop}\n",
+                e.fingerprint, e.rise_bits, e.fall_bits
+            ));
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(out.as_bytes())
+    }
+}
+
+/// Parse one store line; `None` for malformed input.
+fn parse_line(line: &str) -> Option<(String, CacheEntry)> {
+    let mut f = line.split('\t');
+    let name = f.next()?;
+    if name.is_empty() {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(f.next()?, 16).ok()?;
+    let rise_bits = u64::from_str_radix(f.next()?, 16).ok()?;
+    let fall_bits = u64::from_str_radix(f.next()?, 16).ok()?;
+    let cell = f.next()?;
+    let peak = f.next()?;
+    let prop = f.next()?;
+    if f.next().is_some() {
+        return None;
+    }
+    let receiver = match (cell, peak, prop) {
+        ("-", "-", "-") => None,
+        _ => Some(CachedReceiver {
+            cell: cell.to_owned(),
+            output_peak_bits: u64::from_str_radix(peak, 16).ok()?,
+            propagates: match prop {
+                "1" => true,
+                "0" => false,
+                _ => return None,
+            },
+        }),
+    };
+    Some((name.to_owned(), CacheEntry { fingerprint, rise_bits, fall_bits, receiver }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultCache {
+        let mut c = ResultCache::new();
+        c.insert(
+            "bus0_1".into(),
+            CacheEntry {
+                fingerprint: 0xdead_beef,
+                rise_bits: 0.31_f64.to_bits(),
+                fall_bits: (-0.07_f64).to_bits(),
+                receiver: None,
+            },
+        );
+        c.insert(
+            "acc_q3".into(),
+            CacheEntry {
+                fingerprint: 1,
+                rise_bits: 0.6_f64.to_bits(),
+                fall_bits: (-0.58_f64).to_bits(),
+                receiver: Some(CachedReceiver {
+                    cell: "INVX4".into(),
+                    output_peak_bits: (-1.2_f64).to_bits(),
+                    propagates: true,
+                }),
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        let c = sample();
+        c.save(&path).unwrap();
+        let back = ResultCache::load(&path);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup("bus0_1", 0xdead_beef), c.lookup("bus0_1", 0xdead_beef));
+        assert_eq!(back.lookup("acc_q3", 1), c.lookup("acc_q3", 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_fingerprint_misses() {
+        let c = sample();
+        assert!(c.lookup("bus0_1", 0xdead_beef).is_some());
+        assert!(c.lookup("bus0_1", 0xdead_bee0).is_none());
+        assert!(c.lookup("absent", 0xdead_beef).is_none());
+    }
+
+    #[test]
+    fn missing_file_is_empty_cache() {
+        let c = ResultCache::load(Path::new("/nonexistent/pcv-engine-cache"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let good = "w1\t0000000000000001\t0000000000000002\t0000000000000003\t-\t-\t-";
+        let text =
+            format!("{HEADER}\n{good}\nnot a line\nw2\tzz\t0\t0\t-\t-\t-\n\t1\t2\t3\t-\t-\t-\n");
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        std::fs::write(&path, text).unwrap();
+        let c = ResultCache::load(&path);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("w1", 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_empty_cache() {
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-hdr");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        std::fs::write(&path, "pcv-engine-cache v999\nw1\t1\t2\t3\t-\t-\t-\n").unwrap();
+        assert!(ResultCache::load(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,453 @@
+//! The engine proper: shard victims into cluster jobs, run them on the
+//! work-stealing scheduler, and merge a deterministic report.
+
+use crate::cache::{CacheEntry, CachedReceiver, ResultCache};
+use crate::fingerprint::{cluster_fingerprint, config_hash};
+use crate::report::{EngineError, EngineReport, EngineStats};
+use crate::scheduler;
+use pcv_cells::library::CellKind;
+use pcv_netlist::PNetId;
+use pcv_xtalk::prune::{
+    coupling_component_sizes, prune_victim_with_components, Cluster, PruneConfig, PruningStats,
+};
+use pcv_xtalk::{
+    analyze_glitch, check_receiver_propagation, AnalysisContext, AnalysisOptions, ChipReport,
+    GlitchResult, NetVerdict, ReceiverVerdict, Severity, XtalkError,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Pruning parameters (same meaning as the serial flow).
+    pub prune: PruneConfig,
+    /// Analysis knobs (same meaning as the serial flow).
+    pub analysis: AnalysisOptions,
+    /// Warning threshold as a fraction of Vdd.
+    pub warn_frac: f64,
+    /// Violation threshold as a fraction of Vdd.
+    pub fail_frac: f64,
+    /// Run receiver-propagation checks on flagged victims (the serial
+    /// [`pcv_xtalk::audit_receivers`] pass), in-job.
+    pub check_receivers: bool,
+    /// Incremental result store; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            prune: PruneConfig::default(),
+            analysis: AnalysisOptions::default(),
+            warn_frac: 0.1,
+            fail_frac: 0.2,
+            check_receivers: false,
+            cache_path: None,
+        }
+    }
+}
+
+/// Parallel, fault-isolated, incremental chip-verification engine.
+///
+/// [`Engine::verify`] produces, when every job succeeds and the cache is
+/// cold, the exact same [`ChipReport`] as the serial
+/// [`pcv_xtalk::verify_chip`] (+ [`pcv_xtalk::audit_receivers`] when
+/// `check_receivers` is set) — verdict for verdict, bit for bit —
+/// regardless of worker count or scheduling order.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    /// Configuration used by [`Engine::verify`].
+    pub config: EngineConfig,
+    faults: HashSet<String>,
+}
+
+/// Outcome of one successful cluster job.
+struct JobOk {
+    verdict: NetVerdict,
+    cluster: Cluster,
+    cached: bool,
+    entry: Option<CacheEntry>,
+}
+
+/// Classify peaks against the noise-margin thresholds (serial rule).
+fn classify(rise: f64, fall: f64, vdd: f64, warn: f64, fail: f64) -> (f64, Severity) {
+    let worst_frac = rise.abs().max(fall.abs()) / vdd;
+    let severity = if worst_frac >= fail {
+        Severity::Violation
+    } else if worst_frac >= warn {
+        Severity::Warning
+    } else {
+        Severity::Clean
+    };
+    (worst_frac, severity)
+}
+
+impl Engine {
+    /// Engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config, faults: HashSet::new() }
+    }
+
+    /// Chaos hook: make the cluster job for the named victim panic. The
+    /// fault-isolation drill — used by tests and operators to confirm one
+    /// bad cluster cannot take down a chip audit.
+    pub fn inject_fault(&mut self, net_name: impl Into<String>) {
+        self.faults.insert(net_name.into());
+    }
+
+    /// Audit `victims`: prune, analyze and classify each one as a parallel
+    /// cluster job, then merge a report identical to the serial flow.
+    ///
+    /// Jobs that return an error or panic become [`EngineError`] records;
+    /// the remaining victims are still fully reported.
+    ///
+    /// # Errors
+    ///
+    /// [`XtalkError::InvalidConfig`] for inconsistent thresholds or
+    /// receiver checks without design/library data. Per-victim analysis
+    /// failures do **not** error — they land in
+    /// [`EngineReport::errors`].
+    pub fn verify(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        victims: &[PNetId],
+    ) -> Result<EngineReport, XtalkError> {
+        let cfg = &self.config;
+        if cfg.warn_frac > cfg.fail_frac {
+            return Err(XtalkError::InvalidConfig {
+                what: "warning threshold must not exceed failure",
+            });
+        }
+        if cfg.check_receivers && (ctx.design.is_none() || ctx.lib.is_none()) {
+            return Err(XtalkError::InvalidConfig {
+                what: "receiver checks need design and library data",
+            });
+        }
+        let start = Instant::now();
+        let workers = match cfg.workers {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+
+        let cache = match cfg.cache_path.as_deref() {
+            Some(path) => ResultCache::load(path),
+            None => ResultCache::new(),
+        };
+        // One union-find for the whole run instead of one per victim.
+        let component_sizes = coupling_component_sizes(ctx.db);
+        let chash = config_hash(
+            ctx,
+            &cfg.prune,
+            &cfg.analysis,
+            cfg.warn_frac,
+            cfg.fail_frac,
+            cfg.check_receivers,
+        );
+
+        let prune_ns = AtomicU64::new(0);
+        let analysis_ns = AtomicU64::new(0);
+        let receiver_ns = AtomicU64::new(0);
+
+        let job = |i: usize| -> Result<JobOk, XtalkError> {
+            let vic = victims[i];
+            let t = Instant::now();
+            let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, &component_sizes);
+            prune_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let name = ctx.db.net(vic).name().to_owned();
+            assert!(!self.faults.contains(&name), "injected fault in cluster job for {name}");
+
+            let fp = cluster_fingerprint(ctx, &cluster, chash);
+            if let Some(e) = cache.lookup(&name, fp) {
+                let rise = f64::from_bits(e.rise_bits);
+                let fall = f64::from_bits(e.fall_bits);
+                let (worst_frac, severity) =
+                    classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+                let receiver = e.receiver.as_ref().map(|r| ReceiverVerdict {
+                    cell: r.cell.clone(),
+                    output_peak: f64::from_bits(r.output_peak_bits),
+                    propagates: r.propagates,
+                });
+                let verdict = NetVerdict {
+                    net: vic,
+                    name,
+                    rise_peak: rise,
+                    fall_peak: fall,
+                    worst_frac,
+                    severity,
+                    cluster_size: cluster.size(),
+                    neighbors_before: cluster.neighbors_before,
+                    receiver,
+                };
+                return Ok(JobOk { verdict, cluster, cached: true, entry: None });
+            }
+
+            let t = Instant::now();
+            let (rise, fall, worse) = if cluster.aggressors.is_empty() {
+                (0.0, 0.0, None)
+            } else {
+                let up = analyze_glitch(ctx, &cluster, true, &cfg.analysis)?;
+                let down = analyze_glitch(ctx, &cluster, false, &cfg.analysis)?;
+                let (rise, fall) = (up.peak, down.peak);
+                let worse = if rise.abs() >= fall.abs() { up } else { down };
+                (rise, fall, Some(worse))
+            };
+            analysis_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let (worst_frac, severity) =
+                classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+            let receiver = if cfg.check_receivers && severity >= Severity::Warning {
+                let t = Instant::now();
+                let r = self.receiver_check(ctx, &cluster, &name, rise, fall, worse)?;
+                receiver_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Some(r)
+            } else {
+                None
+            };
+            let entry = CacheEntry {
+                fingerprint: fp,
+                rise_bits: rise.to_bits(),
+                fall_bits: fall.to_bits(),
+                receiver: receiver.as_ref().map(|r| CachedReceiver {
+                    cell: r.cell.clone(),
+                    output_peak_bits: r.output_peak.to_bits(),
+                    propagates: r.propagates,
+                }),
+            };
+            let verdict = NetVerdict {
+                net: vic,
+                name,
+                rise_peak: rise,
+                fall_peak: fall,
+                worst_frac,
+                severity,
+                cluster_size: cluster.size(),
+                neighbors_before: cluster.neighbors_before,
+                receiver,
+            };
+            Ok(JobOk { verdict, cluster, cached: false, entry: Some(entry) })
+        };
+
+        let (results, run_stats) = scheduler::run(workers, victims.len(), job);
+
+        // Deterministic merge: collect in input order, then apply the exact
+        // stable sort the serial flow uses. Stability makes ties keep input
+        // order, so the merged report is independent of scheduling.
+        let mut verdicts = Vec::with_capacity(victims.len());
+        let mut clusters = Vec::with_capacity(victims.len());
+        let mut errors = Vec::new();
+        let mut fresh: Vec<(String, CacheEntry)> = Vec::new();
+        let (mut hits, mut misses) = (0usize, 0usize);
+        for (i, result) in results.into_iter().enumerate() {
+            let flat = match result {
+                Ok(Ok(ok)) => Ok(ok),
+                Ok(Err(e)) => Err(e.to_string()),
+                Err(panic) => Err(format!("job panicked: {panic}")),
+            };
+            match flat {
+                Ok(ok) => {
+                    if ok.cached {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                    if let Some(entry) = ok.entry {
+                        fresh.push((ok.verdict.name.clone(), entry));
+                    }
+                    verdicts.push(ok.verdict);
+                    clusters.push(ok.cluster);
+                }
+                Err(message) => errors.push(EngineError {
+                    net: victims[i],
+                    name: ctx.db.net(victims[i]).name().to_owned(),
+                    message,
+                }),
+            }
+        }
+        verdicts.sort_by(|a, b| b.worst_frac.partial_cmp(&a.worst_frac).expect("finite fractions"));
+
+        if let Some(path) = cfg.cache_path.as_deref() {
+            let mut updated = cache;
+            for (name, entry) in fresh {
+                updated.insert(name, entry);
+            }
+            // Best-effort: a failed save only costs future cache hits.
+            let _ = updated.save(path);
+        }
+
+        let stats = EngineStats {
+            workers,
+            victims: victims.len(),
+            cache_hits: hits,
+            cache_misses: misses,
+            prune_time: Duration::from_nanos(prune_ns.into_inner()),
+            analysis_time: Duration::from_nanos(analysis_ns.into_inner()),
+            receiver_time: Duration::from_nanos(receiver_ns.into_inner()),
+            wall_time: start.elapsed(),
+            worker_busy: run_stats.worker_busy,
+            steals: run_stats.steals,
+        };
+        Ok(EngineReport {
+            chip: ChipReport {
+                verdicts,
+                pruning: PruningStats::compute(&clusters),
+                warn_frac: cfg.warn_frac,
+                fail_frac: cfg.fail_frac,
+            },
+            errors,
+            stats,
+        })
+    }
+
+    /// In-job receiver check: the serial [`pcv_xtalk::audit_receivers`]
+    /// rule, reusing the worse-polarity waveform already computed instead
+    /// of re-running the analysis (deterministic, so the result is
+    /// identical).
+    fn receiver_check(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cluster: &Cluster,
+        name: &str,
+        rise: f64,
+        fall: f64,
+        worse: Option<GlitchResult>,
+    ) -> Result<ReceiverVerdict, XtalkError> {
+        let (Some(design), Some(lib)) = (ctx.design, ctx.lib) else {
+            return Err(XtalkError::InvalidConfig {
+                what: "receiver checks need design and library data",
+            });
+        };
+        let dnet =
+            design.find_net(name).ok_or_else(|| XtalkError::NoDriver { net: name.to_owned() })?;
+        // Same receiver pick as the serial audit: first non-latch load,
+        // else the latch input-stage-equivalent inverter.
+        let receiver_cell = design
+            .loads_of(dnet)
+            .iter()
+            .filter_map(|&(inst, _)| lib.cell(&design.instance(inst).cell))
+            .find(|c| c.kind != CellKind::Latch)
+            .or_else(|| lib.cell("INVX1"))
+            .ok_or(XtalkError::InvalidConfig { what: "no receiver cell available" })?;
+        let rising = rise.abs() >= fall.abs();
+        let glitch = match worse {
+            Some(g) => g,
+            // Only reachable for an aggressor-less victim flagged by a
+            // zero warning threshold.
+            None => analyze_glitch(ctx, cluster, rising, &self.config.analysis)?,
+        };
+        let quiet = if rising { 0.0 } else { self.config.analysis.vdd };
+        let check = check_receiver_propagation(
+            receiver_cell,
+            &glitch.waveform,
+            quiet,
+            self.config.analysis.vdd,
+            self.config.fail_frac,
+        )?;
+        Ok(ReceiverVerdict {
+            cell: receiver_cell.name.clone(),
+            output_peak: check.output_peak,
+            propagates: check.propagates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcv_netlist::{NetNodeRef, NetParasitics, ParasiticDb};
+
+    /// The same two-victim fixture as the serial chip tests.
+    fn db() -> (ParasiticDb, PNetId, PNetId) {
+        let mut db = ParasiticDb::new();
+        let mk = |name: &str, cg: f64| {
+            let mut n = NetParasitics::new(name);
+            let n1 = n.add_node();
+            n.add_resistor(0, n1, 200.0);
+            n.add_ground_cap(n1, cg);
+            n.mark_load(n1);
+            n
+        };
+        let hot = db.add_net(mk("hot", 5e-15));
+        let cold = db.add_net(mk("cold", 50e-15));
+        let agg = db.add_net(mk("agg", 5e-15));
+        db.add_coupling(NetNodeRef { net: hot, node: 1 }, NetNodeRef { net: agg, node: 1 }, 60e-15);
+        db.add_coupling(
+            NetNodeRef { net: cold, node: 1 },
+            NetNodeRef { net: agg, node: 1 },
+            0.4e-15,
+        );
+        (db, hot, cold)
+    }
+
+    fn config(workers: usize) -> EngineConfig {
+        EngineConfig { workers, ..Default::default() }
+    }
+
+    #[test]
+    fn matches_serial_verify_chip() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let victims = [cold, hot];
+        let serial = pcv_xtalk::verify_chip(
+            &ctx,
+            &victims,
+            &PruneConfig::default(),
+            &AnalysisOptions::default(),
+            0.1,
+            0.2,
+        )
+        .unwrap();
+        for workers in [1, 2, 4] {
+            let report = Engine::new(config(workers)).verify(&ctx, &victims).unwrap();
+            assert_eq!(report.chip, serial);
+            assert!(report.errors.is_empty());
+            assert_eq!(report.stats.cache_misses, 2);
+            assert_eq!(report.stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn injected_fault_is_isolated() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let mut engine = Engine::new(config(2));
+        engine.inject_fault("hot");
+        let report = engine.verify(&ctx, &[cold, hot]).unwrap();
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].name, "hot");
+        assert!(report.errors[0].message.contains("injected fault"));
+        // The other victim is still fully audited.
+        assert_eq!(report.chip.verdicts.len(), 1);
+        assert_eq!(report.chip.verdicts[0].name, "cold");
+    }
+
+    #[test]
+    fn bad_thresholds_are_rejected() {
+        let (db, hot, _) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let engine = Engine::new(EngineConfig { warn_frac: 0.5, fail_frac: 0.2, ..config(1) });
+        assert!(matches!(engine.verify(&ctx, &[hot]), Err(XtalkError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn receiver_checks_without_design_are_rejected() {
+        let (db, hot, _) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let engine = Engine::new(EngineConfig { check_receivers: true, ..config(1) });
+        assert!(matches!(engine.verify(&ctx, &[hot]), Err(XtalkError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_victim_list_yields_empty_report() {
+        let (db, _, _) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let report = Engine::new(config(2)).verify(&ctx, &[]).unwrap();
+        assert!(report.chip.verdicts.is_empty());
+        assert_eq!(report.stats.victims, 0);
+        assert_eq!(report.stats.hit_rate(), 0.0);
+    }
+}

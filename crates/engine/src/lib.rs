@@ -1,0 +1,72 @@
+//! Chip-scale orchestration for the crosstalk verification flow: a
+//! parallel, fault-isolated, incremental engine over
+//! [`pcv_xtalk`]'s victim-cluster analysis.
+//!
+//! The serial flow ([`pcv_xtalk::verify_chip`] +
+//! [`pcv_xtalk::audit_receivers`]) audits victims one at a time and dies
+//! with the first failure. At chip scale — thousands of latch-input
+//! victims — that is neither fast enough nor robust enough. This crate
+//! keeps the serial flow as the reference semantics and adds the
+//! engineering around it:
+//!
+//! - **Parallelism** ([`scheduler`]) — victims are sharded into
+//!   independent cluster jobs (prune → reduce → analyze → receiver check)
+//!   on a std-only work-stealing thread pool. No external dependencies:
+//!   threads, channels and atomics.
+//! - **Determinism** — results are merged by input index and sorted with
+//!   the serial flow's exact stable comparator, so an N-worker run is
+//!   byte-identical to the serial report regardless of scheduling.
+//! - **Fault isolation** — each job runs under `catch_unwind`; a
+//!   panicking or erroring cluster becomes an [`EngineError`] record while
+//!   every other victim is still fully audited.
+//! - **Incrementality** ([`cache`], [`fingerprint`]) — each cluster's
+//!   verdict is stored under a fingerprint of its topology, couplings,
+//!   drivers and analysis options. Re-runs skip unchanged clusters;
+//!   touching one coupling capacitor invalidates exactly the clusters it
+//!   feeds.
+//! - **Observability** ([`report`]) — per-stage wall-times, cache
+//!   hit-rate, worker utilization and steal counts in every
+//!   [`EngineReport`].
+//!
+//! # Example
+//!
+//! ```
+//! # use pcv_engine::{Engine, EngineConfig};
+//! # use pcv_xtalk::AnalysisContext;
+//! # use pcv_netlist::{NetParasitics, NetNodeRef, ParasiticDb};
+//! # fn main() -> Result<(), pcv_xtalk::XtalkError> {
+//! let mut db = ParasiticDb::new();
+//! let mut v = NetParasitics::new("v");
+//! let v1 = v.add_node();
+//! v.add_resistor(0, v1, 200.0);
+//! v.add_ground_cap(v1, 10e-15);
+//! v.mark_load(v1);
+//! let vid = db.add_net(v);
+//! let mut a = NetParasitics::new("a");
+//! let a1 = a.add_node();
+//! a.add_resistor(0, a1, 200.0);
+//! a.add_ground_cap(a1, 10e-15);
+//! let aid = db.add_net(a);
+//! db.add_coupling(NetNodeRef { net: vid, node: v1 },
+//!                 NetNodeRef { net: aid, node: a1 }, 30e-15);
+//! let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+//! let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+//! let report = engine.verify(&ctx, &[vid])?;
+//! assert_eq!(report.chip.verdicts.len(), 1);
+//! assert!(report.errors.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod report;
+pub mod scheduler;
+
+pub use cache::{CacheEntry, CachedReceiver, ResultCache};
+pub use engine::{Engine, EngineConfig};
+pub use fingerprint::{cluster_fingerprint, config_hash, Fnv1a};
+pub use report::{EngineError, EngineReport, EngineStats};

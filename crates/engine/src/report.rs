@@ -1,0 +1,162 @@
+//! Engine run reports: the serial [`ChipReport`] plus fault records and
+//! execution statistics.
+
+use pcv_netlist::PNetId;
+use pcv_xtalk::ChipReport;
+use std::fmt;
+use std::time::Duration;
+
+/// A cluster job that failed — by returning an analysis error or by
+/// panicking — without taking the rest of the audit down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineError {
+    /// The victim whose job failed.
+    pub net: PNetId,
+    /// Victim net name.
+    pub name: String,
+    /// Error or panic message.
+    pub message: String,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.message)
+    }
+}
+
+/// Execution statistics for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Victims submitted.
+    pub victims: usize,
+    /// Jobs answered from the incremental cache.
+    pub cache_hits: usize,
+    /// Jobs that ran the full analysis.
+    pub cache_misses: usize,
+    /// Summed time in pruning across all workers.
+    pub prune_time: Duration,
+    /// Summed time in glitch analysis across all workers.
+    pub analysis_time: Duration,
+    /// Summed time in receiver checks across all workers.
+    pub receiver_time: Duration,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+    /// Per-worker busy time (time spent inside jobs).
+    pub worker_busy: Vec<Duration>,
+    /// Jobs a worker stole from another worker's queue.
+    pub steals: u64,
+}
+
+impl EngineStats {
+    /// Fraction of jobs answered from the cache (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean worker busy-fraction over the wall-clock span (0 when
+    /// wall time is zero).
+    pub fn utilization(&self) -> f64 {
+        if self.worker_busy.is_empty() || self.wall_time.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        busy / (self.wall_time.as_secs_f64() * self.worker_busy.len() as f64)
+    }
+
+    /// Victims audited per wall-clock second (0 when wall time is zero).
+    pub fn throughput(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            0.0
+        } else {
+            self.victims as f64 / self.wall_time.as_secs_f64()
+        }
+    }
+}
+
+/// The result of one [`Engine::verify`](crate::Engine::verify) run: the
+/// same [`ChipReport`] the serial flow produces, plus per-job fault
+/// records and execution statistics.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Verdicts for every victim whose job completed, worst first —
+    /// byte-identical to the serial [`pcv_xtalk::verify_chip`] report when
+    /// no job failed.
+    pub chip: ChipReport,
+    /// Victims whose jobs failed (error or panic), in input order.
+    pub errors: Vec<EngineError>,
+    /// Execution statistics.
+    pub stats: EngineStats,
+}
+
+impl EngineReport {
+    /// Render the audit plus an engine summary as plain text.
+    pub fn to_text(&self) -> String {
+        let mut out = self.chip.to_text();
+        if !self.errors.is_empty() {
+            out.push_str(&format!("{} failed cluster job(s):\n", self.errors.len()));
+            for e in &self.errors {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "engine: {} workers, {} victims in {:.1} ms ({:.0} victims/s)\n",
+            s.workers,
+            s.victims,
+            s.wall_time.as_secs_f64() * 1e3,
+            s.throughput()
+        ));
+        out.push_str(&format!(
+            "engine: cache {}/{} hits ({:.0}%), {} steals, {:.0}% utilization\n",
+            s.cache_hits,
+            s.cache_hits + s.cache_misses,
+            100.0 * s.hit_rate(),
+            s.steals,
+            100.0 * s.utilization()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_throughput_handle_empty_runs() {
+        let s = EngineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_hits_over_total() {
+        let s = EngineStats { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_wall_per_worker() {
+        let s = EngineStats {
+            wall_time: Duration::from_secs(2),
+            worker_busy: vec![Duration::from_secs(1), Duration::from_secs(1)],
+            ..Default::default()
+        };
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_error_displays_name_and_message() {
+        let e =
+            EngineError { net: PNetId(3), name: "bus0_2".into(), message: "injected fault".into() };
+        assert_eq!(e.to_string(), "bus0_2: injected fault");
+    }
+}

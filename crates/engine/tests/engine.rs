@@ -1,0 +1,234 @@
+//! Engine acceptance tests: determinism against the serial flow on the
+//! DSP fixture, fault isolation under an injected panic, and incremental
+//! cache behavior (full warm-run hits, exact invalidation).
+
+use pcv_cells::library::CellLibrary;
+use pcv_designs::dsp::{generate, DspConfig};
+use pcv_designs::Technology;
+use pcv_engine::{Engine, EngineConfig};
+use pcv_netlist::{NetNodeRef, NetParasitics, PNetId, ParasiticDb};
+use pcv_xtalk::drivers::DriverModelKind;
+use pcv_xtalk::prune::PruneConfig;
+use pcv_xtalk::{audit_receivers, verify_chip, AnalysisContext, AnalysisOptions};
+
+/// A small DSP block plus its latch-input victim list.
+fn dsp_fixture() -> (pcv_designs::dsp::DspBlock, CellLibrary, Vec<PNetId>) {
+    let tech = Technology::c025();
+    let lib = CellLibrary::standard_025();
+    let block = generate(
+        &DspConfig { n_buses: 2, bus_bits: 6, n_random_nets: 16, ..Default::default() },
+        &tech,
+        &lib,
+    );
+    let victims: Vec<PNetId> = block
+        .latch_victims()
+        .into_iter()
+        .map(|d| block.parasitics.find_net(block.design.net_name(d)).expect("views are aligned"))
+        .collect();
+    (block, lib, victims)
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig { workers, ..Default::default() }
+}
+
+#[test]
+fn parallel_run_matches_serial_on_dsp_fixture() {
+    let (block, lib, victims) = dsp_fixture();
+    assert!(victims.len() >= 4, "fixture must exercise real parallelism");
+    let ctx = AnalysisContext {
+        db: &block.parasitics,
+        design: Some(&block.design),
+        lib: Some(&lib),
+        charlib: None,
+        driver_model: DriverModelKind::FixedResistance(2000.0),
+    };
+    let prune = PruneConfig::default();
+    let opts = AnalysisOptions::default();
+    let serial = verify_chip(&ctx, &victims, &prune, &opts, 0.1, 0.2).unwrap();
+
+    for workers in [1usize, 2, 4] {
+        let report = Engine::new(engine_config(workers)).verify(&ctx, &victims).unwrap();
+        assert!(report.errors.is_empty());
+        // Verdict for verdict, bit for bit — including order.
+        assert_eq!(report.chip, serial, "{workers}-worker run diverged from serial");
+        assert_eq!(report.stats.cache_misses, victims.len());
+        assert_eq!(report.stats.cache_hits, 0);
+        assert_eq!(report.stats.worker_busy.len(), workers);
+    }
+}
+
+#[test]
+fn receiver_audit_matches_serial_on_dsp_fixture() {
+    let (block, lib, victims) = dsp_fixture();
+    let ctx = AnalysisContext {
+        db: &block.parasitics,
+        design: Some(&block.design),
+        lib: Some(&lib),
+        charlib: None,
+        driver_model: DriverModelKind::FixedResistance(2000.0),
+    };
+    let prune = PruneConfig::default();
+    let opts = AnalysisOptions::default();
+    // Low thresholds so some victims are flagged and receiver checks run.
+    let mut serial = verify_chip(&ctx, &victims, &prune, &opts, 0.02, 0.05).unwrap();
+    audit_receivers(&ctx, &mut serial, &prune, &opts).unwrap();
+    assert!(
+        serial.verdicts.iter().any(|v| v.receiver.is_some()),
+        "fixture must flag at least one victim"
+    );
+
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        warn_frac: 0.02,
+        fail_frac: 0.05,
+        check_receivers: true,
+        ..Default::default()
+    });
+    let report = engine.verify(&ctx, &victims).unwrap();
+    assert!(report.errors.is_empty());
+    assert_eq!(report.chip, serial);
+}
+
+#[test]
+fn injected_panic_yields_one_error_and_a_complete_report() {
+    let (block, lib, victims) = dsp_fixture();
+    let ctx = AnalysisContext {
+        db: &block.parasitics,
+        design: Some(&block.design),
+        lib: Some(&lib),
+        charlib: None,
+        driver_model: DriverModelKind::FixedResistance(2000.0),
+    };
+    let faulted = block.parasitics.net(victims[1]).name().to_owned();
+    let mut engine = Engine::new(engine_config(4));
+    engine.inject_fault(faulted.clone());
+    let report = engine.verify(&ctx, &victims).unwrap();
+
+    assert_eq!(report.errors.len(), 1);
+    assert_eq!(report.errors[0].name, faulted);
+    assert_eq!(report.errors[0].net, victims[1]);
+    assert!(report.errors[0].message.contains("injected fault"));
+    // Every other victim is fully audited.
+    assert_eq!(report.chip.verdicts.len(), victims.len() - 1);
+    assert!(report.chip.verdicts.iter().all(|v| v.name != faulted));
+    // And the survivors match a serial run over the same survivors.
+    let rest: Vec<PNetId> = victims.iter().copied().filter(|&v| v != victims[1]).collect();
+    let serial =
+        verify_chip(&ctx, &rest, &PruneConfig::default(), &AnalysisOptions::default(), 0.1, 0.2)
+            .unwrap();
+    assert_eq!(report.chip, serial);
+}
+
+/// Disjoint victim/aggressor pairs: perturbing one pair's coupling must
+/// invalidate exactly that victim's cache entry.
+fn pair_db(couplings: &[f64]) -> (ParasiticDb, Vec<PNetId>) {
+    let mut db = ParasiticDb::new();
+    let mut victims = Vec::new();
+    for (k, &cc) in couplings.iter().enumerate() {
+        let mk = |name: String| {
+            let mut n = NetParasitics::new(name);
+            let n1 = n.add_node();
+            n.add_resistor(0, n1, 150.0);
+            n.add_ground_cap(n1, 8e-15);
+            n.mark_load(n1);
+            n
+        };
+        let v = db.add_net(mk(format!("v{k}")));
+        let a = db.add_net(mk(format!("a{k}")));
+        db.add_coupling(NetNodeRef { net: v, node: 1 }, NetNodeRef { net: a, node: 1 }, cc);
+        victims.push(v);
+    }
+    (db, victims)
+}
+
+fn cache_file(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pcv-engine-test-caches");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(tag)
+}
+
+#[test]
+fn warm_cache_rerun_hits_every_cluster() {
+    let path = cache_file("warm-rerun");
+    let _ = std::fs::remove_file(&path);
+    let (db, victims) = pair_db(&[30e-15, 25e-15, 20e-15, 15e-15]);
+    let ctx = AnalysisContext::fixed_resistance(&db, 1500.0);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    });
+
+    let cold = engine.verify(&ctx, &victims).unwrap();
+    assert_eq!(cold.stats.cache_misses, victims.len());
+    assert_eq!(cold.stats.cache_hits, 0);
+
+    let warm = engine.verify(&ctx, &victims).unwrap();
+    assert_eq!(warm.stats.cache_hits, victims.len(), "100% hits on unchanged rerun");
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
+    // Cached verdicts are bit-identical to recomputed ones.
+    assert_eq!(warm.chip, cold.chip);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn perturbing_one_coupling_invalidates_exactly_that_cluster() {
+    let path = cache_file("perturb-one");
+    let _ = std::fs::remove_file(&path);
+    let caps = [30e-15, 25e-15, 20e-15, 15e-15];
+    let (db, victims) = pair_db(&caps);
+    let ctx = AnalysisContext::fixed_resistance(&db, 1500.0);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    });
+    let cold = engine.verify(&ctx, &victims).unwrap();
+
+    // Same design, except pair 2's coupling capacitor grew by 20%.
+    let mut perturbed = caps;
+    perturbed[2] *= 1.2;
+    let (db2, victims2) = pair_db(&perturbed);
+    let ctx2 = AnalysisContext::fixed_resistance(&db2, 1500.0);
+    let second = engine.verify(&ctx2, &victims2).unwrap();
+
+    assert_eq!(second.stats.cache_hits, victims2.len() - 1);
+    assert_eq!(second.stats.cache_misses, 1, "only the touched cluster re-ran");
+    // The touched victim's verdict moved; the others are bit-identical.
+    let v2_before = cold.chip.verdicts.iter().find(|v| v.name == "v2").unwrap();
+    let v2_after = second.chip.verdicts.iter().find(|v| v.name == "v2").unwrap();
+    assert!(v2_after.worst_frac > v2_before.worst_frac);
+    for name in ["v0", "v1", "v3"] {
+        let before = cold.chip.verdicts.iter().find(|v| v.name == name).unwrap();
+        let after = second.chip.verdicts.iter().find(|v| v.name == name).unwrap();
+        assert_eq!(before, after);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn changing_analysis_options_invalidates_the_whole_cache() {
+    let path = cache_file("config-change");
+    let _ = std::fs::remove_file(&path);
+    let (db, victims) = pair_db(&[30e-15, 25e-15]);
+    let ctx = AnalysisContext::fixed_resistance(&db, 1500.0);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    });
+    engine.verify(&ctx, &victims).unwrap();
+
+    let mut stricter = Engine::new(EngineConfig {
+        workers: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    });
+    stricter.config.warn_frac = 0.05;
+    let report = stricter.verify(&ctx, &victims).unwrap();
+    assert_eq!(report.stats.cache_hits, 0, "options are part of the fingerprint");
+    assert_eq!(report.stats.cache_misses, victims.len());
+    let _ = std::fs::remove_file(&path);
+}

@@ -2,8 +2,8 @@
 //! form `(D, η)` used for fast transient integration.
 
 use crate::error::MorError;
-use pcv_sparse::eig::jacobi_eigen;
 use pcv_sparse::dense::{Dense, DenseLu};
+use pcv_sparse::eig::jacobi_eigen;
 
 /// The SyMPVL reduced model `T v̇_r + v_r = ρ u`, `y = ρᵀ v_r`.
 ///
@@ -70,8 +70,8 @@ impl ReducedModel {
             let x = lu.solve(&self.rho.col(j));
             for i in 0..p {
                 let mut sum = 0.0;
-                for k in 0..q {
-                    sum += self.rho[(k, i)] * x[k];
+                for (k, &xk) in x.iter().enumerate().take(q) {
+                    sum += self.rho[(k, i)] * xk;
                 }
                 h[(i, j)] = sum;
             }
@@ -98,8 +98,8 @@ impl ReducedModel {
         for (j, col) in cols.iter().enumerate() {
             for i in 0..p {
                 let mut sum = 0.0;
-                for kk in 0..q {
-                    sum += self.rho[(kk, i)] * col[kk];
+                for (kk, &ck) in col.iter().enumerate().take(q) {
+                    sum += self.rho[(kk, i)] * ck;
                 }
                 m[(i, j)] = sum;
             }
@@ -228,11 +228,7 @@ mod tests {
 
     fn toy_model() -> ReducedModel {
         // T diag-ish SPD, 3 states, 2 ports.
-        let t = Dense::from_rows(&[
-            &[2e-9, 1e-10, 0.0],
-            &[1e-10, 1e-9, 0.0],
-            &[0.0, 0.0, 5e-10],
-        ]);
+        let t = Dense::from_rows(&[&[2e-9, 1e-10, 0.0], &[1e-10, 1e-9, 0.0], &[0.0, 0.0, 5e-10]]);
         let rho = Dense::from_rows(&[&[1.0, 0.2], &[0.0, 0.8], &[0.3, 0.1]]);
         ReducedModel::new(t, rho)
     }
@@ -275,8 +271,7 @@ mod tests {
             let h2 = d.transfer(s);
             for i in 0..2 {
                 for j in 0..2 {
-                    let rel =
-                        (h1[(i, j)] - h2[(i, j)]).abs() / h1[(i, j)].abs().max(1e-300);
+                    let rel = (h1[(i, j)] - h2[(i, j)]).abs() / h1[(i, j)].abs().max(1e-300);
                     assert!(rel < 1e-9, "s={s}: {rel}");
                 }
             }

@@ -71,7 +71,7 @@ impl RcCluster {
     ///
     /// Rejects non-positive or non-finite values.
     pub fn set_gmin(&mut self, gmin: f64) -> Result<(), MorError> {
-        if !(gmin > 0.0) || !gmin.is_finite() {
+        if gmin <= 0.0 || !gmin.is_finite() {
             return Err(MorError::InvalidValue { what: "gmin" });
         }
         self.gmin = gmin;
@@ -97,7 +97,7 @@ impl RcCluster {
     pub fn add_resistor(&mut self, a: usize, b: usize, ohms: f64) -> Result<(), MorError> {
         self.check_node(a)?;
         self.check_node(b)?;
-        if !(ohms > 0.0) || !ohms.is_finite() {
+        if ohms <= 0.0 || !ohms.is_finite() {
             return Err(MorError::InvalidValue { what: "resistance" });
         }
         self.resistors.push((a, b, ohms));
@@ -111,7 +111,7 @@ impl RcCluster {
     /// Rejects out-of-range nodes and non-positive resistance.
     pub fn add_resistor_to_ground(&mut self, a: usize, ohms: f64) -> Result<(), MorError> {
         self.check_node(a)?;
-        if !(ohms > 0.0) || !ohms.is_finite() {
+        if ohms <= 0.0 || !ohms.is_finite() {
             return Err(MorError::InvalidValue { what: "resistance" });
         }
         self.resistors.push((a, GND, ohms));
@@ -417,10 +417,7 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(1.0));
-        assert!(matches!(
-            RcCluster::from_circuit(&ckt, &[a]),
-            Err(MorError::NotLinear)
-        ));
+        assert!(matches!(RcCluster::from_circuit(&ckt, &[a]), Err(MorError::NotLinear)));
     }
 
     #[test]

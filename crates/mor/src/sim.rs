@@ -109,7 +109,7 @@ pub fn simulate(
             bound: p + 1,
         });
     }
-    if !(tstop > 0.0) {
+    if tstop.is_nan() || tstop <= 0.0 {
         return Err(MorError::InvalidValue { what: "tstop" });
     }
     let q = model.order();
@@ -118,9 +118,7 @@ pub fn simulate(
     let active: Vec<usize> = (0..p).filter(|&j| terminations[j].is_some()).collect();
 
     // Port capacitances (companion-modeled at the ports).
-    let caps: Vec<f64> = (0..p)
-        .map(|j| terminations[j].map_or(0.0, |t| t.capacitance()))
-        .collect();
+    let caps: Vec<f64> = (0..p).map(|j| terminations[j].map_or(0.0, |t| t.capacitance())).collect();
     let has_cap: Vec<usize> = (0..p).filter(|&j| caps[j] > 0.0).collect();
 
     // Breakpoints from termination stimuli.
@@ -146,8 +144,17 @@ pub fn simulate(
         dc_opts.max_newton = opts.max_newton * 4;
         x.iter_mut().for_each(|v| *v = 0.0);
         if let Ok(it) = newton_solve(
-            model, terminations, &active, &caps, &has_cap, &mut x, /* alpha */ 0.0,
-            /* beta */ &vec![0.0; q], /* t */ 0.0, /* cap history */ None, &dc_opts,
+            model,
+            terminations,
+            &active,
+            &caps,
+            &has_cap,
+            &mut x,
+            /* alpha */ 0.0,
+            /* beta */ &vec![0.0; q],
+            /* t */ 0.0,
+            /* cap history */ None,
+            &dc_opts,
         ) {
             iters = it;
             dc_ok = true;
@@ -189,16 +196,22 @@ pub fn simulate(
         let (alpha, beta): (f64, Vec<f64>) = if use_be {
             (1.0 / h_eff, x.iter().map(|&xi| -xi / h_eff).collect())
         } else {
-            (
-                2.0 / h_eff,
-                x.iter().zip(&xdot).map(|(&xi, &xd)| -2.0 * xi / h_eff - xd).collect(),
-            )
+            (2.0 / h_eff, x.iter().zip(&xdot).map(|(&xi, &xd)| -2.0 * xi / h_eff - xd).collect())
         };
         let mut x_new = x.clone();
         let cap_hist = Some((h_eff, use_be, &cap_v_prev[..], &cap_i_prev[..]));
         match newton_solve(
-            model, terminations, &active, &caps, &has_cap, &mut x_new, alpha, &beta,
-            t + h_eff, cap_hist, opts,
+            model,
+            terminations,
+            &active,
+            &caps,
+            &has_cap,
+            &mut x_new,
+            alpha,
+            &beta,
+            t + h_eff,
+            cap_hist,
+            opts,
         ) {
             Ok(it) => {
                 iters = it;
@@ -213,9 +226,7 @@ pub fn simulate(
                     };
                     cap_i_prev[j] = i_new;
                 }
-                for j in 0..p {
-                    cap_v_prev[j] = y_new[j];
-                }
+                cap_v_prev[..p].copy_from_slice(&y_new[..p]);
                 for k in 0..q {
                     xdot[k] = alpha * x_new[k] + beta[k];
                 }
@@ -268,7 +279,7 @@ fn newton_solve(
     active: &[usize],
     caps: &[f64],
     has_cap: &[usize],
-    x: &mut Vec<f64>,
+    x: &mut [f64],
     alpha: f64,
     beta: &[f64],
     t: f64,
@@ -294,13 +305,8 @@ fn newton_solve(
             let (mut i_c, mut g_c) = (0.0, 0.0);
             if caps[j] > 0.0 {
                 if let Some((h, be, v_prev, i_prev)) = cap_hist {
-                    let geq =
-                        if be { caps[j] / h } else { 2.0 * caps[j] / h };
-                    let ieq = if be {
-                        geq * v_prev[j]
-                    } else {
-                        geq * v_prev[j] + i_prev[j]
-                    };
+                    let geq = if be { caps[j] / h } else { 2.0 * caps[j] / h };
+                    let ieq = if be { geq * v_prev[j] } else { geq * v_prev[j] + i_prev[j] };
                     i_c = geq * y[j] - ieq;
                     g_c = geq;
                 }
@@ -416,13 +422,7 @@ mod tests {
         let cl = rc_line(10, 50.0, 1e-15);
         let rom = reduce(&cl, 4).unwrap().diagonalize().unwrap();
         let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 2.5, 1e-10, 1e-11));
-        let res = simulate(
-            &rom,
-            &[Some(&drv), None],
-            20e-9,
-            &MorOptions::default(),
-        )
-        .unwrap();
+        let res = simulate(&rom, &[Some(&drv), None], 20e-9, &MorOptions::default()).unwrap();
         let far = res.waveform(1);
         // Fully charged at the end.
         assert!((far.value_at(20e-9) - 2.5).abs() < 5e-3, "{}", far.value_at(20e-9));
@@ -476,16 +476,11 @@ mod tests {
         let pv = cl.add_port(vic[0]);
         let pfar = cl.add_port(vic[7]);
         let rom = reduce(&cl, 4).unwrap().diagonalize().unwrap();
-        let agg_drv =
-            TheveninTermination::new(300.0, SourceWave::step(0.0, 2.5, 0.5e-9, 0.2e-9));
+        let agg_drv = TheveninTermination::new(300.0, SourceWave::step(0.0, 2.5, 0.5e-9, 0.2e-9));
         let vic_drv = ResistiveTermination::new(2000.0);
-        let res = simulate(
-            &rom,
-            &[Some(&agg_drv), Some(&vic_drv), None],
-            6e-9,
-            &MorOptions::default(),
-        )
-        .unwrap();
+        let res =
+            simulate(&rom, &[Some(&agg_drv), Some(&vic_drv), None], 6e-9, &MorOptions::default())
+                .unwrap();
         let vw = res.waveform(pfar);
         let (_, peak) = vw.peak_deviation(0.0);
         assert!(peak > 0.05, "visible glitch expected, got {peak}");
@@ -502,19 +497,11 @@ mod tests {
         let drv = TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
         let fast = simulate(&rom, &[Some(&drv), None], 5e-9, &MorOptions::default()).unwrap();
         let big_load = CapacitiveTermination::new(200e-15);
-        let slow = simulate(
-            &rom,
-            &[Some(&drv), Some(&big_load)],
-            5e-9,
-            &MorOptions::default(),
-        )
-        .unwrap();
+        let slow =
+            simulate(&rom, &[Some(&drv), Some(&big_load)], 5e-9, &MorOptions::default()).unwrap();
         let t_fast = fast.waveform(1).crossing(0.5, true, 0.0).unwrap();
         let t_slow = slow.waveform(1).crossing(0.5, true, 0.0).unwrap();
-        assert!(
-            t_slow > 2.0 * t_fast,
-            "load cap must slow the far end: {t_slow} vs {t_fast}"
-        );
+        assert!(t_slow > 2.0 * t_fast, "load cap must slow the far end: {t_slow} vs {t_fast}");
     }
 
     #[test]

@@ -66,30 +66,22 @@ fn crosstalk_peak_matches_spice_with_linear_drivers() {
     ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
     ckt.add_resistor(agg_src, agg0, r_drive);
     ckt.add_resistor(vic0, Circuit::GROUND, r_drive); // victim held low
-    let spice = Simulator::new(&ckt)
-        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
-        .unwrap();
+    let spice =
+        Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[vic_far]).unwrap();
     let (_, spice_peak) = spice.waveform(vic_far).peak_deviation(0.0);
 
     // SyMPVL: same drivers as terminations on the reduced model.
     let rom = sympvl::reduce(&cl, 4).unwrap().diagonalize().unwrap();
     let agg_drv = TheveninTermination::new(r_drive, agg_wave);
     let vic_drv = ResistiveTermination::new(r_drive);
-    let mor = simulate(
-        &rom,
-        &[Some(&agg_drv), Some(&vic_drv), None],
-        tstop,
-        &MorOptions::default(),
-    )
-    .unwrap();
+    let mor =
+        simulate(&rom, &[Some(&agg_drv), Some(&vic_drv), None], tstop, &MorOptions::default())
+            .unwrap();
     let (_, mor_peak) = mor.waveform(2).peak_deviation(0.0);
 
     assert!(spice_peak > 0.05, "test needs a visible glitch, got {spice_peak}");
     let rel = (mor_peak - spice_peak).abs() / spice_peak.abs();
-    assert!(
-        rel < 0.02,
-        "MPVL peak {mor_peak} vs SPICE peak {spice_peak}: rel err {rel}"
-    );
+    assert!(rel < 0.02, "MPVL peak {mor_peak} vs SPICE peak {spice_peak}: rel err {rel}");
 }
 
 #[test]
@@ -104,21 +96,16 @@ fn full_waveform_agrees_not_just_peak() {
     ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
     ckt.add_resistor(agg_src, agg0, 500.0);
     ckt.add_resistor(vic0, Circuit::GROUND, 1500.0);
-    let spice = Simulator::new(&ckt)
-        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
-        .unwrap();
+    let spice =
+        Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[vic_far]).unwrap();
     let sw = spice.waveform(vic_far);
 
     let rom = sympvl::reduce(&cl, 5).unwrap().diagonalize().unwrap();
     let agg_drv = TheveninTermination::new(500.0, agg_wave);
     let vic_drv = ResistiveTermination::new(1500.0);
-    let mor = simulate(
-        &rom,
-        &[Some(&agg_drv), Some(&vic_drv), None],
-        tstop,
-        &MorOptions::default(),
-    )
-    .unwrap();
+    let mor =
+        simulate(&rom, &[Some(&agg_drv), Some(&vic_drv), None], tstop, &MorOptions::default())
+            .unwrap();
     let mw = mor.waveform(2);
 
     // Compare on a uniform grid; error normalized to the glitch peak.
@@ -128,10 +115,7 @@ fn full_waveform_agrees_not_just_peak() {
         let t = tstop * k as f64 / 120.0;
         worst = worst.max((sw.value_at(t) - mw.value_at(t)).abs());
     }
-    assert!(
-        worst < 0.03 * peak.abs().max(0.05),
-        "waveforms diverge: worst {worst}, peak {peak}"
-    );
+    assert!(worst < 0.03 * peak.abs().max(0.05), "waveforms diverge: worst {worst}, peak {peak}");
 }
 
 #[test]
@@ -150,24 +134,16 @@ fn delay_with_coupling_matches_spice() {
     ckt.add_resistor(vs, vic0, 800.0);
     ckt.add_vsrc(asrc, Circuit::GROUND, agg_wave.clone());
     ckt.add_resistor(asrc, agg0, 400.0);
-    let spice = Simulator::new(&ckt)
-        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
-        .unwrap();
-    let t_spice = spice
-        .waveform(vic_far)
-        .crossing(0.5 * VDD, true, 0.0)
-        .expect("victim rises");
+    let spice =
+        Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[vic_far]).unwrap();
+    let t_spice = spice.waveform(vic_far).crossing(0.5 * VDD, true, 0.0).expect("victim rises");
 
     let rom = sympvl::reduce(&cl, 5).unwrap().diagonalize().unwrap();
     let agg_drv = TheveninTermination::new(400.0, agg_wave);
     let vic_drv = TheveninTermination::new(800.0, vic_wave);
-    let mor = simulate(
-        &rom,
-        &[Some(&agg_drv), Some(&vic_drv), None],
-        tstop,
-        &MorOptions::default(),
-    )
-    .unwrap();
+    let mor =
+        simulate(&rom, &[Some(&agg_drv), Some(&vic_drv), None], tstop, &MorOptions::default())
+            .unwrap();
     let t_mor = mor.waveform(2).crossing(0.5 * VDD, true, 0.0).expect("victim rises");
 
     let rel = (t_mor - t_spice).abs() / t_spice;
@@ -188,20 +164,15 @@ fn mor_uses_fewer_newton_iterations_than_spice() {
     ckt.add_vsrc(agg_src, Circuit::GROUND, agg_wave.clone());
     ckt.add_resistor(agg_src, agg0, 1000.0);
     ckt.add_resistor(vic0, Circuit::GROUND, 1000.0);
-    let spice = Simulator::new(&ckt)
-        .transient_probed(tstop, &SimOptions::default(), &[vic_far])
-        .unwrap();
+    let spice =
+        Simulator::new(&ckt).transient_probed(tstop, &SimOptions::default(), &[vic_far]).unwrap();
 
     let rom = sympvl::reduce(&cl, 4).unwrap().diagonalize().unwrap();
     let agg_drv = TheveninTermination::new(1000.0, agg_wave);
     let vic_drv = ResistiveTermination::new(1000.0);
-    let mor = simulate(
-        &rom,
-        &[Some(&agg_drv), Some(&vic_drv), None],
-        tstop,
-        &MorOptions::default(),
-    )
-    .unwrap();
+    let mor =
+        simulate(&rom, &[Some(&agg_drv), Some(&vic_drv), None], tstop, &MorOptions::default())
+            .unwrap();
 
     // Reduced model: order ≤ 12 vs 121 MNA unknowns, so per-iteration work
     // differs by orders of magnitude; iteration counts stay comparable.

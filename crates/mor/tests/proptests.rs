@@ -1,51 +1,49 @@
-//! Property-based tests for the reduction: over random RC clusters, the
-//! reduced model must match the exact DC transfer, stay passive, and its
-//! diagonalized form must reproduce the projected transfer function.
+//! Randomized-property tests for the reduction: over random RC clusters,
+//! the reduced model must match the exact DC transfer, stay passive, and
+//! its diagonalized form must reproduce the projected transfer function.
+//! Driven by the seeded internal PRNG so the workspace builds offline.
 
 use pcv_mor::{reduce_arnoldi, sympvl, RcCluster};
-use proptest::prelude::*;
+use pcv_rng::Rng;
 
 /// A random connected RC cluster: a random tree of resistors with grounded
 /// caps everywhere and a few extra coupling caps, 1–3 ports.
-fn arbitrary_cluster() -> impl Strategy<Value = RcCluster> {
-    (
-        2usize..18,
-        prop::collection::vec(10.0f64..5e3, 20),
-        prop::collection::vec(1e-16f64..5e-14, 40),
-        prop::collection::vec((0usize..18, 0usize..18), 0..6),
-        1usize..4,
-    )
-        .prop_map(|(n, res, caps, couples, nports)| {
-            let mut cl = RcCluster::new();
-            let nodes: Vec<usize> = (0..n).map(|_| cl.add_node()).collect();
-            // Random tree: node k attaches to a previous node.
-            for k in 1..n {
-                let parent = (res[k % res.len()] as usize) % k;
-                cl.add_resistor(nodes[parent], nodes[k], res[(k * 3) % res.len()])
-                    .unwrap();
-            }
-            for (k, &nd) in nodes.iter().enumerate() {
-                cl.add_ground_cap(nd, caps[k % caps.len()]).unwrap();
-            }
-            for (i, (a, b)) in couples.into_iter().enumerate() {
-                let (a, b) = (a % n, b % n);
-                if a != b {
-                    cl.add_capacitor(nodes[a], nodes[b], caps[(i * 7) % caps.len()])
-                        .unwrap();
-                }
-            }
-            for p in 0..nports.min(n) {
-                cl.add_port(nodes[(p * 5) % n]);
-            }
-            cl
-        })
+fn arbitrary_cluster(rng: &mut Rng) -> RcCluster {
+    let n = rng.range_usize(2, 18);
+    let res: Vec<f64> = (0..20).map(|_| rng.range_f64(10.0, 5e3)).collect();
+    let caps: Vec<f64> = (0..40).map(|_| rng.range_f64(1e-16, 5e-14)).collect();
+    let n_couples = rng.range_usize(0, 6);
+    let couples: Vec<(usize, usize)> =
+        (0..n_couples).map(|_| (rng.range_usize(0, 18), rng.range_usize(0, 18))).collect();
+    let nports = rng.range_usize(1, 4);
+
+    let mut cl = RcCluster::new();
+    let nodes: Vec<usize> = (0..n).map(|_| cl.add_node()).collect();
+    // Random tree: node k attaches to a previous node.
+    for k in 1..n {
+        let parent = (res[k % res.len()] as usize) % k;
+        cl.add_resistor(nodes[parent], nodes[k], res[(k * 3) % res.len()]).unwrap();
+    }
+    for (k, &nd) in nodes.iter().enumerate() {
+        cl.add_ground_cap(nd, caps[k % caps.len()]).unwrap();
+    }
+    for (i, (a, b)) in couples.into_iter().enumerate() {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            cl.add_capacitor(nodes[a], nodes[b], caps[(i * 7) % caps.len()]).unwrap();
+        }
+    }
+    for p in 0..nports.min(n) {
+        cl.add_port(nodes[(p * 5) % n]);
+    }
+    cl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sympvl_matches_dc_exactly(cl in arbitrary_cluster()) {
+#[test]
+fn sympvl_matches_dc_exactly() {
+    let mut rng = Rng::new(0x40A1);
+    for _ in 0..48 {
+        let cl = arbitrary_cluster(&mut rng);
         let rom = sympvl::reduce(&cl, 2).unwrap();
         let exact = cl.exact_transfer(0.0).unwrap();
         let h = rom.transfer(0.0).unwrap();
@@ -53,26 +51,34 @@ proptest! {
         for i in 0..cl.num_ports() {
             for j in 0..cl.num_ports() {
                 let denom = exact[(i, j)].abs().max(1e-9 * scale);
-                prop_assert!(
+                assert!(
                     (h[(i, j)] - exact[(i, j)]).abs() / denom < 1e-6,
-                    "dc mismatch at ({}, {})", i, j
+                    "dc mismatch at ({i}, {j})"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn sympvl_models_are_passive_and_stable(cl in arbitrary_cluster()) {
+#[test]
+fn sympvl_models_are_passive_and_stable() {
+    let mut rng = Rng::new(0x40A2);
+    for _ in 0..48 {
+        let cl = arbitrary_cluster(&mut rng);
         let rom = sympvl::reduce(&cl, 4).unwrap();
-        prop_assert!(rom.is_passive(1e-9).unwrap());
+        assert!(rom.is_passive(1e-9).unwrap());
         let d = rom.diagonalize().unwrap();
         // All reduced time constants non-negative → all poles in the left
         // half plane (or at infinity).
-        prop_assert!(d.d().iter().all(|&w| w >= 0.0));
+        assert!(d.d().iter().all(|&w| w >= 0.0));
     }
+}
 
-    #[test]
-    fn diagonalization_preserves_transfer(cl in arbitrary_cluster()) {
+#[test]
+fn diagonalization_preserves_transfer() {
+    let mut rng = Rng::new(0x40A3);
+    for _ in 0..48 {
+        let cl = arbitrary_cluster(&mut rng);
         let rom = sympvl::reduce(&cl, 3).unwrap();
         let diag = rom.diagonalize().unwrap();
         for &s in &[0.0, 1e8, 1e10] {
@@ -81,30 +87,38 @@ proptest! {
             let scale = h1[(0, 0)].abs().max(1e-300);
             for i in 0..cl.num_ports() {
                 for j in 0..cl.num_ports() {
-                    prop_assert!(
+                    assert!(
                         (h1[(i, j)] - h2[(i, j)]).abs() <= 1e-7 * scale,
-                        "transfer mismatch at s = {}", s
+                        "transfer mismatch at s = {s}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn transfer_magnitude_decreases_with_frequency(cl in arbitrary_cluster()) {
+#[test]
+fn transfer_magnitude_decreases_with_frequency() {
+    let mut rng = Rng::new(0x40A4);
+    for _ in 0..48 {
         // Driving-point impedance of a passive RC one-port falls with s.
+        let cl = arbitrary_cluster(&mut rng);
         let rom = sympvl::reduce(&cl, 4).unwrap();
         let mut prev = f64::INFINITY;
         for &s in &[0.0, 1e8, 1e9, 1e10, 1e11] {
             let h = rom.transfer(s).unwrap()[(0, 0)];
-            prop_assert!(h >= -1e-12, "driving-point impedance stays non-negative");
-            prop_assert!(h <= prev * (1.0 + 1e-9), "monotone decay: {} then {}", prev, h);
+            assert!(h >= -1e-12, "driving-point impedance stays non-negative");
+            assert!(h <= prev * (1.0 + 1e-9), "monotone decay: {prev} then {h}");
             prev = h;
         }
     }
+}
 
-    #[test]
-    fn arnoldi_and_sympvl_agree_at_dc(cl in arbitrary_cluster()) {
+#[test]
+fn arnoldi_and_sympvl_agree_at_dc() {
+    let mut rng = Rng::new(0x40A5);
+    for _ in 0..48 {
+        let cl = arbitrary_cluster(&mut rng);
         let a = reduce_arnoldi(&cl, 2).unwrap();
         let l = sympvl::reduce(&cl, 2).unwrap();
         let ha = a.transfer(0.0).unwrap();
@@ -113,7 +127,7 @@ proptest! {
         for i in 0..cl.num_ports() {
             for j in 0..cl.num_ports() {
                 let denom = hl[(i, j)].abs().max(1e-9 * scale);
-                prop_assert!((ha[(i, j)] - hl[(i, j)]).abs() / denom < 1e-6);
+                assert!((ha[(i, j)] - hl[(i, j)]).abs() / denom < 1e-6);
             }
         }
     }

@@ -316,8 +316,7 @@ impl Circuit {
     /// Nodes with equal names are connected; returns nothing because node
     /// identity is name-based.
     pub fn merge(&mut self, other: &Circuit) {
-        let map: Vec<NodeId> =
-            (0..other.num_nodes()).map(|i| self.node(&other.names[i])).collect();
+        let map: Vec<NodeId> = (0..other.num_nodes()).map(|i| self.node(&other.names[i])).collect();
         let remap = |id: NodeId| -> NodeId {
             if id.is_ground() {
                 NodeId::GROUND
@@ -333,16 +332,12 @@ impl Circuit {
                 Element::Capacitor { a, b, farads } => {
                     Element::Capacitor { a: remap(*a), b: remap(*b), farads: *farads }
                 }
-                Element::Vsrc { pos, neg, wave } => Element::Vsrc {
-                    pos: remap(*pos),
-                    neg: remap(*neg),
-                    wave: wave.clone(),
-                },
-                Element::Isrc { pos, neg, wave } => Element::Isrc {
-                    pos: remap(*pos),
-                    neg: remap(*neg),
-                    wave: wave.clone(),
-                },
+                Element::Vsrc { pos, neg, wave } => {
+                    Element::Vsrc { pos: remap(*pos), neg: remap(*neg), wave: wave.clone() }
+                }
+                Element::Isrc { pos, neg, wave } => {
+                    Element::Isrc { pos: remap(*pos), neg: remap(*neg), wave: wave.clone() }
+                }
                 Element::Mosfet { d, g, s, params } => Element::Mosfet {
                     d: remap(*d),
                     g: remap(*g),

@@ -148,7 +148,7 @@ pub fn parse_deck(text: &str) -> Result<Circuit, ParseDeckError> {
                 let a = ckt.node(tokens[1]);
                 let b = ckt.node(tokens[2]);
                 let v = parse_eng(tokens[3]).ok_or_else(|| err("invalid value"))?;
-                if !(v > 0.0) || !v.is_finite() {
+                if v <= 0.0 || !v.is_finite() {
                     return Err(err("value must be positive"));
                 }
                 if kind == 'R' {

@@ -204,9 +204,7 @@ impl Design {
     /// `true` if the net is a bus (driven by more than one tri-state driver).
     pub fn is_bus(&self, net: NetId) -> bool {
         self.drivers[net.0].len() > 1
-            && self.drivers[net.0]
-                .iter()
-                .all(|&i| self.instances[i.0].tristate)
+            && self.drivers[net.0].iter().all(|&i| self.instances[i.0].tristate)
     }
 }
 

@@ -40,7 +40,7 @@ pub mod waveform;
 
 pub use circuit::{Circuit, Element, MosKind, MosParams, NodeId};
 pub use design::{Design, InstanceId, NetId};
-pub use parasitics::{CouplingCap, NetNodeRef, NetParasitics, ParasiticDb, PNetId};
+pub use parasitics::{CouplingCap, NetNodeRef, NetParasitics, PNetId, ParasiticDb};
 pub use termination::{
     CapacitiveTermination, ResistiveTermination, Termination, TheveninTermination,
 };

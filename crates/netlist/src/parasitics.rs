@@ -354,11 +354,7 @@ mod tests {
     fn self_coupling_rejected() {
         let mut db = ParasiticDb::new();
         let a = db.add_net(NetParasitics::new("a"));
-        db.add_coupling(
-            NetNodeRef { net: a, node: 0 },
-            NetNodeRef { net: a, node: 0 },
-            1e-15,
-        );
+        db.add_coupling(NetNodeRef { net: a, node: 0 }, NetNodeRef { net: a, node: 0 }, 1e-15);
     }
 
     #[test]
@@ -367,11 +363,7 @@ mod tests {
         let mut db = ParasiticDb::new();
         let a = db.add_net(NetParasitics::new("a"));
         let b = db.add_net(NetParasitics::new("b"));
-        db.add_coupling(
-            NetNodeRef { net: a, node: 5 },
-            NetNodeRef { net: b, node: 0 },
-            1e-15,
-        );
+        db.add_coupling(NetNodeRef { net: a, node: 5 }, NetNodeRef { net: b, node: 0 }, 1e-15);
     }
 
     #[test]

@@ -92,9 +92,7 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
                 if rest.len() != 2 {
                     return Err(err(line, "*NET needs <name> <num_nodes>"));
                 }
-                let n: usize = rest[1]
-                    .parse()
-                    .map_err(|_| err(line, "invalid node count"))?;
+                let n: usize = rest[1].parse().map_err(|_| err(line, "invalid node count"))?;
                 if n == 0 {
                     return Err(err(line, "net needs at least the driver node"));
                 }
@@ -105,9 +103,7 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
                 current = Some(net);
             }
             "*LOAD" | "*R" | "*GC" => {
-                let net = current
-                    .as_mut()
-                    .ok_or_else(|| err(line, "record outside *NET block"))?;
+                let net = current.as_mut().ok_or_else(|| err(line, "record outside *NET block"))?;
                 let parse_usize = |s: &str| -> Result<usize, ParseSpefError> {
                     s.parse().map_err(|_| err(line, "invalid node index"))
                 };
@@ -135,7 +131,7 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
                         if a >= net.num_nodes() || b >= net.num_nodes() {
                             return Err(err(line, "resistor node out of range"));
                         }
-                        if !(r > 0.0) || !r.is_finite() {
+                        if r <= 0.0 || !r.is_finite() {
                             return Err(err(line, "resistance must be positive"));
                         }
                         net.add_resistor(a, b, r);
@@ -157,9 +153,7 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
                 }
             }
             "*END" => {
-                let net = current
-                    .take()
-                    .ok_or_else(|| err(line, "*END without *NET"))?;
+                let net = current.take().ok_or_else(|| err(line, "*END without *NET"))?;
                 if db.find_net(net.name()).is_some() {
                     return Err(err(line, "duplicate net name"));
                 }
@@ -172,13 +166,9 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
                 if rest.len() != 5 {
                     return Err(err(line, "*CC needs <net_a> <node_a> <net_b> <node_b> <farads>"));
                 }
-                let na = db
-                    .find_net(rest[0])
-                    .ok_or_else(|| err(line, "unknown net in *CC"))?;
+                let na = db.find_net(rest[0]).ok_or_else(|| err(line, "unknown net in *CC"))?;
                 let a: usize = rest[1].parse().map_err(|_| err(line, "invalid node index"))?;
-                let nb = db
-                    .find_net(rest[2])
-                    .ok_or_else(|| err(line, "unknown net in *CC"))?;
+                let nb = db.find_net(rest[2]).ok_or_else(|| err(line, "unknown net in *CC"))?;
                 let b: usize = rest[3].parse().map_err(|_| err(line, "invalid node index"))?;
                 let c: f64 = rest[4].parse().map_err(|_| err(line, "invalid numeric value"))?;
                 if na == nb {
@@ -200,7 +190,10 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
         }
     }
     if current.is_some() {
-        return Err(ParseSpefError { line: text.lines().count(), message: "unterminated *NET block".into() });
+        return Err(ParseSpefError {
+            line: text.lines().count(),
+            message: "unterminated *NET block".into(),
+        });
     }
     Ok(db)
 }
@@ -225,11 +218,7 @@ mod tests {
         b.add_resistor(0, b1, 200.0);
         b.add_ground_cap(b1, 3e-15);
         let bid = db.add_net(b);
-        db.add_coupling(
-            NetNodeRef { net: aid, node: 1 },
-            NetNodeRef { net: bid, node: 1 },
-            4e-15,
-        );
+        db.add_coupling(NetNodeRef { net: aid, node: 1 }, NetNodeRef { net: bid, node: 1 }, 4e-15);
         db
     }
 

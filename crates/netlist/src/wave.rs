@@ -101,12 +101,8 @@ impl SourceWave {
             SourceWave::Pulse { delay, rise, fall, width, period, .. } => {
                 let rise = rise.max(MIN_EDGE);
                 let fall = fall.max(MIN_EDGE);
-                let mut pts = vec![
-                    *delay,
-                    delay + rise,
-                    delay + rise + width,
-                    delay + rise + width + fall,
-                ];
+                let mut pts =
+                    vec![*delay, delay + rise, delay + rise + width, delay + rise + width + fall];
                 if period.is_finite() && *period > 0.0 {
                     let base = pts.clone();
                     for k in 1..4 {

@@ -27,10 +27,7 @@ impl Waveform {
     /// Panics if lengths differ or times are not strictly increasing.
     pub fn from_samples(t: Vec<f64>, v: Vec<f64>) -> Self {
         assert_eq!(t.len(), v.len(), "waveform arrays must have equal length");
-        assert!(
-            t.windows(2).all(|w| w[1] > w[0]),
-            "waveform times must be strictly increasing"
-        );
+        assert!(t.windows(2).all(|w| w[1] > w[0]), "waveform times must be strictly increasing");
         Waveform { t, v }
     }
 
@@ -137,10 +134,7 @@ impl Waveform {
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                (a.1 - baseline)
-                    .abs()
-                    .partial_cmp(&(b.1 - baseline).abs())
-                    .expect("finite samples")
+                (a.1 - baseline).abs().partial_cmp(&(b.1 - baseline).abs()).expect("finite samples")
             })
             .expect("non-empty");
         (self.t[i], self.v[i] - baseline)
@@ -155,11 +149,8 @@ impl Waveform {
                 continue;
             }
             let (v0, v1) = (self.v[w], self.v[w + 1]);
-            let crosses = if rising {
-                v0 < level && v1 >= level
-            } else {
-                v0 > level && v1 <= level
-            };
+            let crosses =
+                if rising { v0 < level && v1 >= level } else { v0 > level && v1 <= level };
             if crosses {
                 let tc = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
                 if tc >= after {

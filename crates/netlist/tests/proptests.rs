@@ -1,103 +1,117 @@
-//! Property-based tests: waveform algebra, source-wave evaluation, and
-//! SPEF-lite round-tripping over arbitrary databases.
+//! Randomized-property tests: waveform algebra, source-wave evaluation, and
+//! SPEF-lite round-tripping over arbitrary databases. Driven by the seeded
+//! internal PRNG so the workspace builds offline.
 
 use pcv_netlist::spef::{parse_spef, write_spef};
 use pcv_netlist::{NetNodeRef, NetParasitics, ParasiticDb, SourceWave, Waveform};
-use proptest::prelude::*;
+use pcv_rng::Rng;
 
-fn monotone_times(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1e-12f64..1e-9, n).prop_map(|steps| {
-        let mut t = 0.0;
-        steps
-            .into_iter()
-            .map(|dt| {
-                t += dt;
-                t
-            })
-            .collect()
-    })
+fn monotone_times(rng: &mut Rng, n: usize) -> Vec<f64> {
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += rng.range_f64(1e-12, 1e-9);
+            t
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn values(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.range_f64(lo, hi)).collect()
+}
 
-    #[test]
-    fn waveform_value_at_is_within_sample_bounds(
-        times in monotone_times(12),
-        values in prop::collection::vec(-3.0f64..3.0, 12),
-        query in 0.0f64..2e-8,
-    ) {
-        let w = Waveform::from_samples(times, values.clone());
+#[test]
+fn waveform_value_at_is_within_sample_bounds() {
+    let mut rng = Rng::new(0x4E711);
+    for _ in 0..64 {
+        let times = monotone_times(&mut rng, 12);
+        let vals = values(&mut rng, 12, -3.0, 3.0);
+        let query = rng.range_f64(0.0, 2e-8);
+        let w = Waveform::from_samples(times, vals.clone());
         let v = w.value_at(query);
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    #[test]
-    fn waveform_resample_preserves_samples(
-        times in monotone_times(8),
-        values in prop::collection::vec(-2.0f64..2.0, 8),
-    ) {
-        let w = Waveform::from_samples(times.clone(), values.clone());
+#[test]
+fn waveform_resample_preserves_samples() {
+    let mut rng = Rng::new(0x4E712);
+    for _ in 0..64 {
+        let times = monotone_times(&mut rng, 8);
+        let vals = values(&mut rng, 8, -2.0, 2.0);
+        let w = Waveform::from_samples(times.clone(), vals.clone());
         let r = w.resample(&times);
-        for (a, b) in r.values().iter().zip(&values) {
-            prop_assert!((a - b).abs() < 1e-12);
+        for (a, b) in r.values().iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn peak_deviation_dominates_every_sample(
-        times in monotone_times(10),
-        values in prop::collection::vec(-2.0f64..2.0, 10),
-        baseline in -1.0f64..1.0,
-    ) {
-        let w = Waveform::from_samples(times, values.clone());
+#[test]
+fn peak_deviation_dominates_every_sample() {
+    let mut rng = Rng::new(0x4E713);
+    for _ in 0..64 {
+        let times = monotone_times(&mut rng, 10);
+        let vals = values(&mut rng, 10, -2.0, 2.0);
+        let baseline = rng.range_f64(-1.0, 1.0);
+        let w = Waveform::from_samples(times, vals.clone());
         let (_, peak) = w.peak_deviation(baseline);
-        for v in &values {
-            prop_assert!((v - baseline).abs() <= peak.abs() + 1e-12);
+        for v in &vals {
+            assert!((v - baseline).abs() <= peak.abs() + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn pulse_wave_stays_within_levels(
-        v0 in -2.0f64..2.0,
-        v1 in -2.0f64..2.0,
-        delay in 0.0f64..1e-9,
-        rise in 1e-12f64..1e-9,
-        fall in 1e-12f64..1e-9,
-        width in 1e-12f64..2e-9,
-        t in 0.0f64..1e-8,
-    ) {
-        let w = SourceWave::Pulse { v0, v1, delay, rise, fall, width, period: f64::INFINITY };
+#[test]
+fn pulse_wave_stays_within_levels() {
+    let mut rng = Rng::new(0x4E714);
+    for _ in 0..64 {
+        let v0 = rng.range_f64(-2.0, 2.0);
+        let v1 = rng.range_f64(-2.0, 2.0);
+        let w = SourceWave::Pulse {
+            v0,
+            v1,
+            delay: rng.range_f64(0.0, 1e-9),
+            rise: rng.range_f64(1e-12, 1e-9),
+            fall: rng.range_f64(1e-12, 1e-9),
+            width: rng.range_f64(1e-12, 2e-9),
+            period: f64::INFINITY,
+        };
+        let t = rng.range_f64(0.0, 1e-8);
         let v = w.value_at(t);
         let (lo, hi) = (v0.min(v1), v0.max(v1));
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
-        prop_assert_eq!(w.dc_value(), v0);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert_eq!(w.dc_value(), v0);
     }
+}
 
-    #[test]
-    fn pwl_wave_interpolates_between_breakpoints(
-        times in monotone_times(6),
-        values in prop::collection::vec(-3.0f64..3.0, 6),
-        t in 0.0f64..1e-8,
-    ) {
-        let points: Vec<(f64, f64)> =
-            times.iter().copied().zip(values.iter().copied()).collect();
+#[test]
+fn pwl_wave_interpolates_between_breakpoints() {
+    let mut rng = Rng::new(0x4E715);
+    for _ in 0..64 {
+        let times = monotone_times(&mut rng, 6);
+        let vals = values(&mut rng, 6, -3.0, 3.0);
+        let t = rng.range_f64(0.0, 1e-8);
+        let points: Vec<(f64, f64)> = times.iter().copied().zip(vals.iter().copied()).collect();
         let w = SourceWave::Pwl(points);
         let v = w.value_at(t);
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    #[test]
-    fn spef_round_trip_is_lossless(
-        seg_counts in prop::collection::vec(1usize..6, 1..5),
-        res in prop::collection::vec(1.0f64..1e4, 32),
-        caps in prop::collection::vec(1e-16f64..1e-13, 32),
-        couple in prop::collection::vec((0usize..5, 0usize..6, 0usize..5, 0usize..6, 1e-16f64..1e-13), 0..10),
-    ) {
+#[test]
+fn spef_round_trip_is_lossless() {
+    let mut rng = Rng::new(0x4E716);
+    for _ in 0..64 {
+        let n_nets = rng.range_usize(1, 5);
+        let seg_counts: Vec<usize> = (0..n_nets).map(|_| rng.range_usize(1, 6)).collect();
+        let res: Vec<f64> = (0..32).map(|_| rng.range_f64(1.0, 1e4)).collect();
+        let caps: Vec<f64> = (0..32).map(|_| rng.range_f64(1e-16, 1e-13)).collect();
+
         let mut db = ParasiticDb::new();
         let mut ids = Vec::new();
         for (k, &segs) in seg_counts.iter().enumerate() {
@@ -112,34 +126,40 @@ proptest! {
             net.mark_load(prev);
             ids.push(db.add_net(net));
         }
-        for (a, na, b, nb, c) in couple {
-            let (a, b) = (a % ids.len(), b % ids.len());
+        for _ in 0..rng.range_usize(0, 10) {
+            let (a, b) = (rng.range_usize(0, ids.len()), rng.range_usize(0, ids.len()));
             if a == b {
                 continue;
             }
-            let na = na % db.net(ids[a]).num_nodes();
-            let nb = nb % db.net(ids[b]).num_nodes();
+            let na = rng.range_usize(0, db.net(ids[a]).num_nodes());
+            let nb = rng.range_usize(0, db.net(ids[b]).num_nodes());
             db.add_coupling(
                 NetNodeRef { net: ids[a], node: na },
                 NetNodeRef { net: ids[b], node: nb },
-                c,
+                rng.range_f64(1e-16, 1e-13),
             );
         }
         let text = write_spef(&db);
         let back = parse_spef(&text).unwrap();
-        prop_assert_eq!(back.num_nets(), db.num_nets());
-        prop_assert_eq!(back.couplings().len(), db.couplings().len());
+        assert_eq!(back.num_nets(), db.num_nets());
+        assert_eq!(back.couplings().len(), db.couplings().len());
         for (id, net) in db.iter() {
             let bid = back.find_net(net.name()).unwrap();
             let bnet = back.net(bid);
-            prop_assert_eq!(bnet.num_nodes(), net.num_nodes());
-            prop_assert!((bnet.total_resistance() - net.total_resistance()).abs()
-                <= 1e-12 * net.total_resistance().abs());
-            prop_assert!((bnet.total_ground_cap() - net.total_ground_cap()).abs()
-                <= 1e-12 * net.total_ground_cap().abs());
-            prop_assert!((back.total_coupling_cap(bid) - db.total_coupling_cap(id)).abs()
-                <= 1e-12 * db.total_coupling_cap(id).abs().max(1e-30));
-            prop_assert_eq!(bnet.load_nodes(), net.load_nodes());
+            assert_eq!(bnet.num_nodes(), net.num_nodes());
+            assert!(
+                (bnet.total_resistance() - net.total_resistance()).abs()
+                    <= 1e-12 * net.total_resistance().abs()
+            );
+            assert!(
+                (bnet.total_ground_cap() - net.total_ground_cap()).abs()
+                    <= 1e-12 * net.total_ground_cap().abs()
+            );
+            assert!(
+                (back.total_coupling_cap(bid) - db.total_coupling_cap(id)).abs()
+                    <= 1e-12 * db.total_coupling_cap(id).abs().max(1e-30)
+            );
+            assert_eq!(bnet.load_nodes(), net.load_nodes());
         }
     }
 }

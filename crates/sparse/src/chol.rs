@@ -39,7 +39,13 @@ pub fn etree(a: &Csc) -> Vec<usize> {
 /// Nonzero pattern of row `k` of `L` (the *ereach* of column `k`): columns
 /// `j < k` such that `L(k,j) != 0`, returned in topological order suitable
 /// for the up-looking triangular solve.
-fn ereach(a: &Csc, k: usize, parent: &[usize], visited: &mut [bool], stack: &mut Vec<usize>) -> Vec<usize> {
+fn ereach(
+    a: &Csc,
+    k: usize,
+    parent: &[usize],
+    visited: &mut [bool],
+    stack: &mut Vec<usize>,
+) -> Vec<usize> {
     stack.clear();
     let mut pattern: Vec<usize> = Vec::new();
     visited[k] = true;
@@ -360,10 +366,7 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let a = Csc::zeros(2, 3);
-        assert!(matches!(
-            SparseCholesky::factor(&a),
-            Err(Error::NotSquare { nrows: 2, ncols: 3 })
-        ));
+        assert!(matches!(SparseCholesky::factor(&a), Err(Error::NotSquare { nrows: 2, ncols: 3 })));
     }
 
     #[test]

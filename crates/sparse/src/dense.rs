@@ -126,9 +126,7 @@ impl Dense {
     /// Panics if `x.len() != ncols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
-        (0..self.nrows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.nrows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
@@ -341,15 +339,15 @@ impl DenseLu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for r in 1..self.n {
             let mut sum = x[r];
-            for c in 0..r {
-                sum -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                sum -= self.lu[(r, c)] * xc;
             }
             x[r] = sum;
         }
         for r in (0..self.n).rev() {
             let mut sum = x[r];
-            for c in (r + 1)..self.n {
-                sum -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+                sum -= self.lu[(r, c)] * xc;
             }
             x[r] = sum / self.lu[(r, r)];
         }
@@ -374,7 +372,7 @@ impl DenseLu {
             }
             swaps += len - 1;
         }
-        let sign = if swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
         sign * (0..self.n).map(|k| self.lu[(k, k)]).product::<f64>()
     }
 }
@@ -465,8 +463,8 @@ impl DenseCholesky {
         assert_eq!(x.len(), self.n, "solve_lower: length mismatch");
         for i in 0..self.n {
             let mut s = x[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -481,8 +479,8 @@ impl DenseCholesky {
         assert_eq!(x.len(), self.n, "solve_lower_t: length mismatch");
         for i in (0..self.n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..self.n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -595,11 +593,7 @@ mod tests {
 
     #[test]
     fn lu_solves_random_system() {
-        let a = Dense::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ]);
+        let a = Dense::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
         let xref = [1.0, -2.0, 3.0];
         let b = a.matvec(&xref);
         let x = a.solve(&b).unwrap();
@@ -670,11 +664,7 @@ mod tests {
 
     #[test]
     fn dense_cholesky_reconstructs_and_solves() {
-        let a = Dense::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.2],
-            &[0.5, -0.2, 2.0],
-        ]);
+        let a = Dense::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]]);
         let chol = DenseCholesky::factor(&a).unwrap();
         let l = chol.l();
         let llt = l.matmul(&l.transpose()).unwrap();
@@ -704,14 +694,8 @@ mod tests {
     #[test]
     fn dense_cholesky_rejects_indefinite() {
         let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
-        assert!(matches!(
-            DenseCholesky::factor(&a),
-            Err(Error::NotPositiveDefinite { .. })
-        ));
-        assert!(matches!(
-            DenseCholesky::factor(&Dense::zeros(2, 3)),
-            Err(Error::NotSquare { .. })
-        ));
+        assert!(matches!(DenseCholesky::factor(&a), Err(Error::NotPositiveDefinite { .. })));
+        assert!(matches!(DenseCholesky::factor(&Dense::zeros(2, 3)), Err(Error::NotSquare { .. })));
     }
 
     #[test]

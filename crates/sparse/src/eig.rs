@@ -26,9 +26,7 @@ impl SymEigen {
     pub fn reconstruct(&self) -> Dense {
         let n = self.values.len();
         let v = &self.vectors;
-        Dense::from_fn(n, n, |r, c| {
-            (0..n).map(|k| v[(r, k)] * self.values[k] * v[(c, k)]).sum()
-        })
+        Dense::from_fn(n, n, |r, c| (0..n).map(|k| v[(r, k)] * self.values[k] * v[(c, k)]).sum())
     }
 }
 
@@ -299,10 +297,7 @@ mod tests {
 
     #[test]
     fn jacobi_rejects_rectangular() {
-        assert!(matches!(
-            jacobi_eigen(&Dense::zeros(2, 3)),
-            Err(Error::NotSquare { .. })
-        ));
+        assert!(matches!(jacobi_eigen(&Dense::zeros(2, 3)), Err(Error::NotSquare { .. })));
     }
 
     #[test]

@@ -47,10 +47,9 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::NotPositiveDefinite { col, pivot } => write!(
-                f,
-                "matrix is not positive definite: pivot {pivot:e} at column {col}"
-            ),
+            Error::NotPositiveDefinite { col, pivot } => {
+                write!(f, "matrix is not positive definite: pivot {pivot:e} at column {col}")
+            }
             Error::Singular { col } => {
                 write!(f, "matrix is numerically singular at column {col}")
             }
@@ -85,11 +84,7 @@ mod tests {
         let e = Error::Singular { col: 7 };
         assert!(e.to_string().contains('7'));
 
-        let e = Error::DimensionMismatch {
-            op: "matvec",
-            expected: (3, 1),
-            found: (4, 1),
-        };
+        let e = Error::DimensionMismatch { op: "matvec", expected: (3, 1), found: (4, 1) };
         assert!(e.to_string().contains("matvec"));
 
         let e = Error::NotSquare { nrows: 2, ncols: 3 };

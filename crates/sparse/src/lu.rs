@@ -49,11 +49,7 @@ struct ColBuilder {
 
 impl ColBuilder {
     fn new(n: usize) -> Self {
-        ColBuilder {
-            colptr: Vec::with_capacity(n + 1),
-            rowidx: Vec::new(),
-            values: Vec::new(),
-        }
+        ColBuilder { colptr: Vec::with_capacity(n + 1), rowidx: Vec::new(), values: Vec::new() }
     }
 }
 
@@ -156,11 +152,8 @@ impl SparseLu {
                     continue;
                 }
                 let start = lb.colptr[jcol];
-                let end = if jcol + 1 < lb.colptr.len() {
-                    lb.colptr[jcol + 1]
-                } else {
-                    lb.rowidx.len()
-                };
+                let end =
+                    if jcol + 1 < lb.colptr.len() { lb.colptr[jcol + 1] } else { lb.rowidx.len() };
                 for p in (start + 1)..end {
                     x[lb.rowidx[p]] -= lb.values[p] * xj;
                 }
@@ -396,10 +389,7 @@ mod tests {
         // Column 2 entirely zero.
         t.push(0, 2, 0.0);
         let a = t.to_csc();
-        assert!(matches!(
-            SparseLu::factor(&a, 1e-3),
-            Err(Error::Singular { col: 2 })
-        ));
+        assert!(matches!(SparseLu::factor(&a, 1e-3), Err(Error::Singular { col: 2 })));
     }
 
     #[test]
@@ -417,10 +407,7 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let a = Csc::zeros(2, 3);
-        assert!(matches!(
-            SparseLu::factor(&a, 1e-3),
-            Err(Error::NotSquare { .. })
-        ));
+        assert!(matches!(SparseLu::factor(&a, 1e-3), Err(Error::NotSquare { .. })));
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn rcm(a: &Csc) -> Vec<usize> {
         placed[start] = true;
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !placed[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !placed[u]).collect();
             nbrs.sort_by_key(|&u| degree[u]);
             for u in nbrs {
                 placed[u] = true;
@@ -297,7 +296,7 @@ mod tests {
         let chol = crate::chol::SparseCholesky::factor(&ap).unwrap();
         // A tree never fills under a perfect elimination order; greedy
         // min-degree on a path achieves ≤ n-1 off-diagonals plus diagonal.
-        assert!(chol.nnz() <= 2 * n - 1, "nnz {}", chol.nnz());
+        assert!(chol.nnz() < 2 * n, "nnz {}", chol.nnz());
     }
 
     #[test]

@@ -257,8 +257,7 @@ impl Csc {
         assert_eq!(x.len(), self.ncols, "matvec: x length");
         assert_eq!(y.len(), self.nrows, "matvec: y length");
         y.fill(0.0);
-        for c in 0..self.ncols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -276,12 +275,12 @@ impl Csc {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows, "matvec_t: length mismatch");
         let mut y = vec![0.0; self.ncols];
-        for c in 0..self.ncols {
+        for (c, yc) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
             for k in self.colptr[c]..self.colptr[c + 1] {
                 sum += self.values[k] * x[self.rowidx[k]];
             }
-            y[c] = sum;
+            *yc = sum;
         }
         y
     }

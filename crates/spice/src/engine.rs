@@ -7,8 +7,8 @@
 
 use crate::mna::{node_voltage, MnaLayout, Stamper};
 use crate::mos::eval_mos;
-use pcv_netlist::Waveform;
 use pcv_netlist::termination::Termination;
+use pcv_netlist::Waveform;
 use pcv_netlist::{Circuit, Element, NodeId};
 use pcv_sparse::SparseLu;
 use std::fmt;
@@ -165,11 +165,8 @@ impl TranResult {
     ///
     /// Returns [`SimError::UnknownProbe`] when the node was not recorded.
     pub fn try_waveform(&self, node: NodeId) -> Result<Waveform, SimError> {
-        let idx = self
-            .probes
-            .iter()
-            .position(|&p| p == node)
-            .ok_or(SimError::UnknownProbe { node })?;
+        let idx =
+            self.probes.iter().position(|&p| p == node).ok_or(SimError::UnknownProbe { node })?;
         Ok(Waveform::from_samples(self.times.clone(), self.data[idx].clone()))
     }
 }
@@ -410,8 +407,7 @@ impl<'a> Simulator<'a> {
     /// Propagates DC failures and returns [`SimError::StepTooSmall`] when the
     /// integrator cannot find a convergent step.
     pub fn transient(&self, tstop: f64, opts: &SimOptions) -> Result<TranResult, SimError> {
-        let probes: Vec<NodeId> =
-            (0..self.layout.num_nodes()).map(NodeId::from_index).collect();
+        let probes: Vec<NodeId> = (0..self.layout.num_nodes()).map(NodeId::from_index).collect();
         self.transient_probed(tstop, opts, &probes)
     }
 
@@ -437,10 +433,7 @@ impl<'a> Simulator<'a> {
         let caps = self.collect_caps();
         let mut x = self.dc(opts)?;
         let mut state = CapState {
-            v_prev: caps
-                .iter()
-                .map(|c| node_voltage(&x, c.a) - node_voltage(&x, c.b))
-                .collect(),
+            v_prev: caps.iter().map(|c| node_voltage(&x, c.a) - node_voltage(&x, c.b)).collect(),
             i_prev: vec![0.0; caps.len()],
         };
 
@@ -496,12 +489,9 @@ impl<'a> Simulator<'a> {
                 Ok((x_new, iters)) => {
                     // Accept: update capacitor states.
                     for (k, cap) in caps.iter().enumerate() {
-                        let v_new =
-                            node_voltage(&x_new, cap.a) - node_voltage(&x_new, cap.b);
+                        let v_new = node_voltage(&x_new, cap.a) - node_voltage(&x_new, cap.b);
                         let i_new = match method {
-                            Method::BackwardEuler => {
-                                cap.farads / h_eff * (v_new - state.v_prev[k])
-                            }
+                            Method::BackwardEuler => cap.farads / h_eff * (v_new - state.v_prev[k]),
                             Method::Trapezoidal => {
                                 2.0 * cap.farads / h_eff * (v_new - state.v_prev[k])
                                     - state.i_prev[k]
@@ -662,8 +652,7 @@ mod tests {
         let mut ckt = Circuit::new();
         let n = ckt.node("n");
         ckt.add_capacitor(n, Circuit::GROUND, 1e-12);
-        let term =
-            TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-13));
+        let term = TheveninTermination::new(1000.0, SourceWave::step(0.0, 1.0, 0.0, 1e-13));
         let mut sim = Simulator::new(&ckt);
         sim.add_termination(n, &term);
         let res = sim.transient(8e-9, &SimOptions::default()).unwrap();
@@ -695,14 +684,10 @@ mod tests {
         ckt.add_vsrc(a, Circuit::GROUND, SourceWave::Dc(1.0));
         ckt.add_resistor(a, b, 100.0);
         ckt.add_capacitor(b, Circuit::GROUND, 1e-15);
-        let res = Simulator::new(&ckt)
-            .transient_probed(1e-9, &SimOptions::default(), &[b])
-            .unwrap();
+        let res =
+            Simulator::new(&ckt).transient_probed(1e-9, &SimOptions::default(), &[b]).unwrap();
         assert!(res.try_waveform(b).is_ok());
-        assert!(matches!(
-            res.try_waveform(a),
-            Err(SimError::UnknownProbe { .. })
-        ));
+        assert!(matches!(res.try_waveform(a), Err(SimError::UnknownProbe { .. })));
     }
 
     #[test]

@@ -90,12 +90,7 @@ fn eval_oriented(beta: f64, vt: f64, lambda: f64, vd: f64, vg: f64, vs: f64) -> 
         // Source and drain exchange roles; channel current reverses sign.
         // Oriented frame: vgs' = vg - vd, vds' = vs - vd.
         let (ids, gm, gds) = eval_core(beta, vt, lambda, vg - vd, vs - vd);
-        MosStamp {
-            ids: -ids,
-            g_d: gm + gds,
-            g_g: -gm,
-            g_s: -gds,
-        }
+        MosStamp { ids: -ids, g_d: gm + gds, g_g: -gm, g_s: -gds }
     }
 }
 
@@ -146,10 +141,10 @@ mod tests {
     fn pmos_derivatives_match_finite_differences() {
         let p = MosParams::pmos_025(4e-6);
         for &(vd, vg, vs) in &[
-            (0.0, 0.0, 2.5),  // on, pulling up
-            (2.4, 0.0, 2.5),  // near-on triode
-            (0.0, 2.5, 2.5),  // off
-            (2.5, 0.0, 0.0),  // reversed orientation
+            (0.0, 0.0, 2.5), // on, pulling up
+            (2.4, 0.0, 2.5), // near-on triode
+            (0.0, 2.5, 2.5), // off
+            (2.5, 0.0, 0.0), // reversed orientation
         ] {
             fd_check(&p, vd, vg, vs);
         }

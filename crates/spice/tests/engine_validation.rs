@@ -48,9 +48,8 @@ fn rc_delay_scales_linearly_with_c() {
         ckt.add_vsrc(a, Circuit::GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
         ckt.add_resistor(a, b, 1000.0);
         ckt.add_capacitor(b, Circuit::GROUND, c);
-        let res = Simulator::new(&ckt)
-            .transient(40.0 * 1000.0 * c, &SimOptions::default())
-            .unwrap();
+        let res =
+            Simulator::new(&ckt).transient(40.0 * 1000.0 * c, &SimOptions::default()).unwrap();
         res.waveform(b).crossing(0.5, true, 0.0).unwrap()
     };
     let t1 = run(1e-12);
@@ -146,12 +145,9 @@ fn nand_gate_truth_table() {
     use pcv_cells::library::CellLibrary;
     let lib = CellLibrary::standard_025();
     let nand = lib.cell("NAND2X2").unwrap();
-    for (a_in, b_in, expect_high) in [
-        (0.0, 0.0, true),
-        (0.0, VDD, true),
-        (VDD, 0.0, true),
-        (VDD, VDD, false),
-    ] {
+    for (a_in, b_in, expect_high) in
+        [(0.0, 0.0, true), (0.0, VDD, true), (VDD, 0.0, true), (VDD, VDD, false)]
+    {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let a = ckt.node("a");
@@ -176,12 +172,9 @@ fn nor_gate_truth_table() {
     use pcv_cells::library::CellLibrary;
     let lib = CellLibrary::standard_025();
     let nor = lib.cell("NOR2X2").unwrap();
-    for (a_in, b_in, expect_high) in [
-        (0.0, 0.0, true),
-        (0.0, VDD, false),
-        (VDD, 0.0, false),
-        (VDD, VDD, false),
-    ] {
+    for (a_in, b_in, expect_high) in
+        [(0.0, 0.0, true), (0.0, VDD, false), (VDD, 0.0, false), (VDD, VDD, false)]
+    {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let a = ckt.node("a");
@@ -221,10 +214,7 @@ fn termination_capacitance_loads_the_circuit() {
     let bare = run(None);
     let term = CapacitiveTermination::new(0.5e-12);
     let loaded = run(Some(&term));
-    assert!(
-        (loaded / bare - 2.0).abs() < 0.05,
-        "termination doubles tau: {bare} -> {loaded}"
-    );
+    assert!((loaded / bare - 2.0).abs() < 0.05, "termination doubles tau: {bare} -> {loaded}");
 }
 
 #[test]

@@ -1,19 +1,14 @@
-//! Property-based tests of simulator invariants over randomized linear
-//! circuits: passivity, superposition, and step-size robustness.
+//! Randomized-property tests of simulator invariants over randomized linear
+//! circuits: passivity, superposition, and step-size robustness. Driven by
+//! the seeded internal PRNG so the workspace builds offline.
 
 use pcv_netlist::{Circuit, NodeId, SourceWave};
+use pcv_rng::Rng;
 use pcv_spice::{SimOptions, Simulator};
-use proptest::prelude::*;
 
 /// Build a random RC ladder driven by a step source; returns the circuit
 /// and the far-end node.
-fn ladder(
-    n: usize,
-    res: &[f64],
-    caps: &[f64],
-    v_step: f64,
-    rise: f64,
-) -> (Circuit, NodeId) {
+fn ladder(n: usize, res: &[f64], caps: &[f64], v_step: f64, rise: f64) -> (Circuit, NodeId) {
     let mut ckt = Circuit::new();
     let src = ckt.node("src");
     ckt.add_vsrc(src, Circuit::GROUND, SourceWave::step(0.0, v_step, 0.2e-9, rise));
@@ -29,17 +24,15 @@ fn ladder(
     (ckt, last)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn rc_ladder_output_is_passive_and_settles(
-        n in 1usize..8,
-        res in prop::collection::vec(50.0f64..2e3, 8),
-        caps in prop::collection::vec(1e-15f64..50e-15, 8),
-        v_step in 0.5f64..3.0,
-        rise in 1e-11f64..5e-10,
-    ) {
+#[test]
+fn rc_ladder_output_is_passive_and_settles() {
+    let mut rng = Rng::new(0x5B1CE1);
+    for _ in 0..16 {
+        let n = rng.range_usize(1, 8);
+        let res: Vec<f64> = (0..8).map(|_| rng.range_f64(50.0, 2e3)).collect();
+        let caps: Vec<f64> = (0..8).map(|_| rng.range_f64(1e-15, 50e-15)).collect();
+        let v_step = rng.range_f64(0.5, 3.0);
+        let rise = rng.range_f64(1e-11, 5e-10);
         let (ckt, far) = ladder(n, &res, &caps, v_step, rise);
         // Simulate long enough for the slowest plausible tau.
         let tau: f64 = res.iter().take(n).sum::<f64>() * caps.iter().take(n).sum::<f64>();
@@ -48,21 +41,23 @@ proptest! {
         let w = result.waveform(far);
         // Passive RC never exceeds the source value.
         let (_, peak) = w.max();
-        prop_assert!(peak <= v_step * (1.0 + 1e-3), "no overshoot: {} vs {}", peak, v_step);
+        assert!(peak <= v_step * (1.0 + 1e-3), "no overshoot: {peak} vs {v_step}");
         let (_, low) = w.min();
-        prop_assert!(low >= -1e-3, "never below ground: {}", low);
+        assert!(low >= -1e-3, "never below ground: {low}");
         // And settles at the source value.
-        prop_assert!((w.value_at(tstop) - v_step).abs() < 0.02 * v_step);
+        assert!((w.value_at(tstop) - v_step).abs() < 0.02 * v_step);
     }
+}
 
-    #[test]
-    fn superposition_holds_on_linear_circuits(
-        r1 in 100.0f64..2e3,
-        r2 in 100.0f64..2e3,
-        r3 in 100.0f64..2e3,
-        va in -2.0f64..2.0,
-        vb in -2.0f64..2.0,
-    ) {
+#[test]
+fn superposition_holds_on_linear_circuits() {
+    let mut rng = Rng::new(0x5B1CE2);
+    for _ in 0..16 {
+        let r1 = rng.range_f64(100.0, 2e3);
+        let r2 = rng.range_f64(100.0, 2e3);
+        let r3 = rng.range_f64(100.0, 2e3);
+        let va = rng.range_f64(-2.0, 2.0);
+        let vb = rng.range_f64(-2.0, 2.0);
         // Bridge: a --r1-- m --r2-- b, m --r3-- gnd.
         let solve = |sa: f64, sb: f64| -> f64 {
             let mut ckt = Circuit::new();
@@ -80,17 +75,19 @@ proptest! {
         let both = solve(va, vb);
         let only_a = solve(va, 0.0);
         let only_b = solve(0.0, vb);
-        prop_assert!(
+        assert!(
             (both - only_a - only_b).abs() < 1e-6,
-            "superposition: {} vs {} + {}", both, only_a, only_b
+            "superposition: {both} vs {only_a} + {only_b}"
         );
     }
+}
 
-    #[test]
-    fn tighter_stepping_changes_results_little(
-        r in 200.0f64..2e3,
-        c in 5e-15f64..200e-15,
-    ) {
+#[test]
+fn tighter_stepping_changes_results_little() {
+    let mut rng = Rng::new(0x5B1CE3);
+    for _ in 0..16 {
+        let r = rng.range_f64(200.0, 2e3);
+        let c = rng.range_f64(5e-15, 200e-15);
         // Same RC edge at two step budgets: measurements must agree closely
         // (integration-order sanity).
         let run = |max_step_fraction: f64| -> f64 {
@@ -107,18 +104,20 @@ proptest! {
         };
         let coarse = run(1.0 / 300.0);
         let fine = run(1.0 / 3000.0);
-        prop_assert!(
+        assert!(
             (coarse - fine).abs() <= 0.02 * fine.max(1e-12),
-            "step-size independence: {} vs {}", coarse, fine
+            "step-size independence: {coarse} vs {fine}"
         );
     }
+}
 
-    #[test]
-    fn current_source_charge_balance(
-        i_amp in 1e-6f64..1e-3,
-        c in 10e-15f64..500e-15,
-        dur in 0.2e-9f64..2e-9,
-    ) {
+#[test]
+fn current_source_charge_balance() {
+    let mut rng = Rng::new(0x5B1CE4);
+    for _ in 0..16 {
+        let i_amp = rng.range_f64(1e-6, 1e-3);
+        let c = rng.range_f64(10e-15, 500e-15);
+        let dur = rng.range_f64(0.2e-9, 2e-9);
         // A rectangular current pulse into a lone capacitor deposits Q = I·t,
         // so V = Q/C afterward (charge conservation through the integrator).
         let mut ckt = Circuit::new();
@@ -141,10 +140,7 @@ proptest! {
         let res = Simulator::new(&ckt).transient(tstop, &SimOptions::default()).unwrap();
         let v_final = res.waveform(node).value_at(tstop);
         let expect = i_amp * (dur + 1e-12) / c; // trapezoid area incl. edges
-        // gmin leakage makes the node sag slightly; allow 3%.
-        prop_assert!(
-            (v_final - expect).abs() <= 0.03 * expect,
-            "charge balance: {} vs {}", v_final, expect
-        );
+                                                // gmin leakage makes the node sag slightly; allow 3%.
+        assert!((v_final - expect).abs() <= 0.03 * expect, "charge balance: {v_final} vs {expect}");
     }
 }

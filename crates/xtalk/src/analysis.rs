@@ -14,7 +14,7 @@ use pcv_cells::charlib::{CharCell, CharLibrary};
 use pcv_cells::library::{Cell, CellLibrary};
 use pcv_mor::{simulate, sympvl, MorOptions, RcCluster};
 use pcv_netlist::termination::Termination;
-use pcv_netlist::{Circuit, Design, ParasiticDb, PNetId, SourceWave, Waveform};
+use pcv_netlist::{Circuit, Design, PNetId, ParasiticDb, SourceWave, Waveform};
 use pcv_spice::{SimOptions, Simulator};
 use std::time::{Duration, Instant};
 
@@ -134,9 +134,8 @@ impl<'a> AnalysisContext<'a> {
             });
         };
         let name = self.db.net(net).name();
-        let dnet = design
-            .find_net(name)
-            .ok_or_else(|| XtalkError::NoDriver { net: name.to_owned() })?;
+        let dnet =
+            design.find_net(name).ok_or_else(|| XtalkError::NoDriver { net: name.to_owned() })?;
         let mut best: Option<&Cell> = None;
         for &inst in design.drivers_of(dnet) {
             if let Some(cell) = lib.cell(&design.instance(inst).cell) {
@@ -451,8 +450,7 @@ fn run_engine(
                     opts.vdd,
                 )?);
             }
-            let mut terms: Vec<Option<&dyn Termination>> =
-                vec![None; model.rc.num_ports()];
+            let mut terms: Vec<Option<&dyn Termination>> = vec![None; model.rc.num_ports()];
             for (k, b) in boxes.iter().enumerate() {
                 terms[model.driver_ports[k]] = Some(b.as_ref());
             }
@@ -526,11 +524,8 @@ fn run_spice(
     }
     let observe_node = node_ids[model.rc.ports()[model.observe_port]];
     let victim_node = node_ids[model.rc.ports()[model.victim_port()]];
-    let res = sim.transient_probed(
-        opts.tstop,
-        &SimOptions::default(),
-        &[observe_node, victim_node],
-    )?;
+    let res =
+        sim.transient_probed(opts.tstop, &SimOptions::default(), &[observe_node, victim_node])?;
     Ok(EngineRun {
         observe: res.waveform(observe_node),
         victim_driver: res.waveform(victim_node),
@@ -650,14 +645,9 @@ mod tests {
         let ctx = AnalysisContext::fixed_resistance(&db, 800.0);
         let cl = cluster(&db, vid);
         let opts = AnalysisOptions::default();
-        let worst = analyze_delay(
-            &ctx,
-            &cl,
-            true,
-            DelayMode::Coupled { aggressors_opposite: true },
-            &opts,
-        )
-        .unwrap();
+        let worst =
+            analyze_delay(&ctx, &cl, true, DelayMode::Coupled { aggressors_opposite: true }, &opts)
+                .unwrap();
         let base = analyze_delay(&ctx, &cl, true, DelayMode::Decoupled, &opts).unwrap();
         let best = analyze_delay(
             &ctx,
@@ -785,9 +775,6 @@ mod tests {
             charlib: None,
             driver_model: DriverModelKind::TimingLibrary,
         };
-        assert!(matches!(
-            ctx.driver_cell(vid),
-            Err(XtalkError::NoDriver { .. })
-        ));
+        assert!(matches!(ctx.driver_cell(vid), Err(XtalkError::NoDriver { .. })));
     }
 }

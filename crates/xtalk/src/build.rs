@@ -9,7 +9,7 @@
 
 use crate::prune::Cluster;
 use pcv_mor::RcCluster;
-use pcv_netlist::{ParasiticDb, PNetId};
+use pcv_netlist::{PNetId, ParasiticDb};
 
 /// A cluster ready for analysis: the RC network plus the port roles.
 #[derive(Debug, Clone)]
@@ -129,11 +129,7 @@ pub fn build_cluster(
         driver_ports.push(rc.add_port(offsets[k] + net.driver_node()));
     }
     let vic = db.net(members[0]);
-    let observe_node = vic
-        .load_nodes()
-        .first()
-        .copied()
-        .unwrap_or_else(|| vic.driver_node());
+    let observe_node = vic.load_nodes().first().copied().unwrap_or_else(|| vic.driver_node());
     let observe_port = rc.add_port(offsets[0] + observe_node);
 
     ClusterModel { rc, members, driver_ports, observe_port, offsets }
@@ -158,11 +154,7 @@ mod tests {
         a.add_resistor(0, a1, 250.0);
         a.add_ground_cap(a1, 12e-15);
         let aid = db.add_net(a);
-        db.add_coupling(
-            NetNodeRef { net: vid, node: 1 },
-            NetNodeRef { net: aid, node: 1 },
-            20e-15,
-        );
+        db.add_coupling(NetNodeRef { net: vid, node: 1 }, NetNodeRef { net: aid, node: 1 }, 20e-15);
         (db, vid, aid)
     }
 
@@ -184,7 +176,8 @@ mod tests {
     fn load_caps_are_lumped_at_pins() {
         let (db, vid, _) = pair_db();
         let cluster = prune_victim(&db, vid, &PruneConfig::default());
-        let with_loads = build_cluster(&db, &cluster, &|n| if n == vid { 5e-15 } else { 0.0 }, false);
+        let with_loads =
+            build_cluster(&db, &cluster, &|n| if n == vid { 5e-15 } else { 0.0 }, false);
         let without = build_cluster(&db, &cluster, &|_| 0.0, false);
         let delta = with_loads.rc.total_ground_cap() - without.rc.total_ground_cap();
         assert!((delta - 5e-15).abs() < 1e-28);
@@ -207,11 +200,7 @@ mod tests {
         // A third net coupled weakly to the victim driver node; pruning will
         // decouple it.
         let w = db.add_net(NetParasitics::new("weak"));
-        db.add_coupling(
-            NetNodeRef { net: vid, node: 0 },
-            NetNodeRef { net: w, node: 0 },
-            0.01e-15,
-        );
+        db.add_coupling(NetNodeRef { net: vid, node: 0 }, NetNodeRef { net: w, node: 0 }, 0.01e-15);
         let cluster = prune_victim(&db, vid, &PruneConfig::default());
         assert_eq!(cluster.aggressors.len(), 1);
         let model = build_cluster(&db, &cluster, &|_| 0.0, false);

@@ -9,7 +9,7 @@ use pcv_netlist::PNetId;
 use std::fmt;
 
 /// Receiver-side verdict for a flagged victim (see [`audit_receivers`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceiverVerdict {
     /// Receiver cell the glitch was replayed into.
     pub cell: String,
@@ -43,7 +43,7 @@ impl fmt::Display for Severity {
 }
 
 /// Per-victim audit record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetVerdict {
     /// The audited victim.
     pub net: PNetId,
@@ -66,7 +66,7 @@ pub struct NetVerdict {
 }
 
 /// Chip-level audit report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipReport {
     /// Per-victim verdicts, worst first.
     pub verdicts: Vec<NetVerdict>,
@@ -175,15 +175,8 @@ pub fn verify_chip(
         });
         clusters.push(cluster);
     }
-    verdicts.sort_by(|a, b| {
-        b.worst_frac.partial_cmp(&a.worst_frac).expect("finite fractions")
-    });
-    Ok(ChipReport {
-        verdicts,
-        pruning: PruningStats::compute(&clusters),
-        warn_frac,
-        fail_frac,
-    })
+    verdicts.sort_by(|a, b| b.worst_frac.partial_cmp(&a.worst_frac).expect("finite fractions"));
+    Ok(ChipReport { verdicts, pruning: PruningStats::compute(&clusters), warn_frac, fail_frac })
 }
 
 impl ChipReport {
@@ -196,7 +189,9 @@ impl ChipReport {
         );
         for v in &self.verdicts {
             let (rc_cell, rc_peak, rc_prop) = match &v.receiver {
-                Some(r) => (r.cell.as_str(), format!("{:.6}", r.output_peak), r.propagates.to_string()),
+                Some(r) => {
+                    (r.cell.as_str(), format!("{:.6}", r.output_peak), r.propagates.to_string())
+                }
                 None => ("", String::new(), String::new()),
             };
             out.push_str(&format!(
@@ -247,9 +242,8 @@ pub fn audit_receivers(
         }
         // Pick the receiving cell: the first non-latch load, else the
         // latch input-stage equivalent.
-        let dnet = design
-            .find_net(&v.name)
-            .ok_or_else(|| XtalkError::NoDriver { net: v.name.clone() })?;
+        let dnet =
+            design.find_net(&v.name).ok_or_else(|| XtalkError::NoDriver { net: v.name.clone() })?;
         let receiver_cell = design
             .loads_of(dnet)
             .iter()
@@ -298,11 +292,7 @@ mod tests {
         let hot = db.add_net(mk("hot", 5e-15));
         let cold = db.add_net(mk("cold", 50e-15));
         let agg = db.add_net(mk("agg", 5e-15));
-        db.add_coupling(
-            NetNodeRef { net: hot, node: 1 },
-            NetNodeRef { net: agg, node: 1 },
-            60e-15,
-        );
+        db.add_coupling(NetNodeRef { net: hot, node: 1 }, NetNodeRef { net: agg, node: 1 }, 60e-15);
         db.add_coupling(
             NetNodeRef { net: cold, node: 1 },
             NetNodeRef { net: agg, node: 1 },
@@ -395,15 +385,8 @@ mod tests {
             driver_model: crate::drivers::DriverModelKind::FixedResistance(2000.0),
         };
         let opts = AnalysisOptions::default();
-        let mut report = verify_chip(
-            &ctx,
-            &[hot, cold],
-            &PruneConfig::default(),
-            &opts,
-            0.1,
-            0.2,
-        )
-        .unwrap();
+        let mut report =
+            verify_chip(&ctx, &[hot, cold], &PruneConfig::default(), &opts, 0.1, 0.2).unwrap();
         audit_receivers(&ctx, &mut report, &PruneConfig::default(), &opts).unwrap();
         // The hot (flagged) victim gets a receiver verdict; the clean one
         // does not.

@@ -92,9 +92,7 @@ pub fn make_termination(
             let t = match role {
                 SwitchRole::HoldLow => LinearDriverModel::holding(ch, false, vdd),
                 SwitchRole::HoldHigh => LinearDriverModel::holding(ch, true, vdd),
-                SwitchRole::Rise { t0 } => {
-                    LinearDriverModel::switching(ch, true, t0, in_slew, vdd)
-                }
+                SwitchRole::Rise { t0 } => LinearDriverModel::switching(ch, true, t0, in_slew, vdd),
                 SwitchRole::Fall { t0 } => {
                     LinearDriverModel::switching(ch, false, t0, in_slew, vdd)
                 }

@@ -7,11 +7,11 @@
 //! cluster node probed, computes average/RMS/peak current per wire segment,
 //! and flags segments exceeding a current limit.
 
+use crate::analysis::{AnalysisContext, AnalysisOptions};
 use crate::build::build_cluster;
 use crate::drivers::{make_termination, DriverModelKind, SwitchRole};
 use crate::error::XtalkError;
 use crate::prune::Cluster;
-use crate::analysis::{AnalysisContext, AnalysisOptions};
 use pcv_mor::RcCluster;
 use pcv_netlist::termination::Termination;
 use pcv_netlist::{Circuit, PNetId};
@@ -169,11 +169,7 @@ mod tests {
         };
         let vid = db.add_net(mk("v"));
         let aid = db.add_net(mk("a"));
-        db.add_coupling(
-            NetNodeRef { net: vid, node: 1 },
-            NetNodeRef { net: aid, node: 1 },
-            15e-15,
-        );
+        db.add_coupling(NetNodeRef { net: vid, node: 1 }, NetNodeRef { net: aid, node: 1 }, 15e-15);
         (db, vid)
     }
 
@@ -182,8 +178,7 @@ mod tests {
         let (db, vid) = pair_db();
         let cluster = prune_victim(&db, vid, &PruneConfig::default());
         let ctx = AnalysisContext::fixed_resistance(&db, 500.0);
-        let res =
-            screen_cluster(&ctx, &cluster, &AnalysisOptions::default(), 1e-3).unwrap();
+        let res = screen_cluster(&ctx, &cluster, &AnalysisOptions::default(), 1e-3).unwrap();
         // 2 nets x 2 segments.
         assert_eq!(res.segments.len(), 4);
         for w in res.segments.windows(2) {

@@ -77,5 +77,7 @@ pub use error::XtalkError;
 pub use prune::{
     prune_all, prune_victim, prune_victim_weighted, Cluster, PruneConfig, PruningStats,
 };
-pub use receiver::{check_receiver_propagation, noise_immunity_curve, ImmunityPoint, ReceiverCheck};
+pub use receiver::{
+    check_receiver_propagation, noise_immunity_curve, ImmunityPoint, ReceiverCheck,
+};
 pub use sta::{apply_windows, compute_windows, StaOptions};

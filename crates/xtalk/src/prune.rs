@@ -9,7 +9,7 @@
 //! loading. In the paper this reduces average cluster size from ~105 nets
 //! to 2–5.
 
-use pcv_netlist::{ParasiticDb, PNetId};
+use pcv_netlist::{PNetId, ParasiticDb};
 
 /// Sizes of the *coupling-connected components* of the database: nets
 /// transitively linked through coupling capacitors. This is the paper's
@@ -20,7 +20,7 @@ use pcv_netlist::{ParasiticDb, PNetId};
 pub fn coupling_component_sizes(db: &ParasiticDb) -> Vec<usize> {
     let n = db.num_nets();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -144,9 +144,7 @@ pub fn prune_victim_weighted(
     // Sort by *weighted* coupling so the strongest effective aggressors
     // are kept under the max_aggressors cap.
     neighbors.sort_by(|a, b| {
-        (b.1 * strength(b.0))
-            .partial_cmp(&(a.1 * strength(a.0)))
-            .expect("finite weights")
+        (b.1 * strength(b.0)).partial_cmp(&(a.1 * strength(a.0))).expect("finite weights")
     });
     let neighbors_before = neighbors.len();
     let mut kept = Vec::new();
@@ -171,9 +169,7 @@ pub fn prune_victim_weighted(
 /// Prune every net of the database as a victim.
 pub fn prune_all(db: &ParasiticDb, cfg: &PruneConfig) -> Vec<Cluster> {
     let sizes = coupling_component_sizes(db);
-    (0..db.num_nets())
-        .map(|k| prune_victim_with_components(db, PNetId(k), cfg, &sizes))
-        .collect()
+    (0..db.num_nets()).map(|k| prune_victim_with_components(db, PNetId(k), cfg, &sizes)).collect()
 }
 
 /// Aggregate statistics over a set of clusters — the paper's §3 pruning
@@ -208,10 +204,8 @@ impl PruningStats {
         }
         let n = clusters.len() as f64;
         PruningStats {
-            mean_before: clusters.iter().map(|c| 1 + c.neighbors_before).sum::<usize>() as f64
-                / n,
-            mean_component: clusters.iter().map(|c| c.component_size).sum::<usize>() as f64
-                / n,
+            mean_before: clusters.iter().map(|c| 1 + c.neighbors_before).sum::<usize>() as f64 / n,
+            mean_component: clusters.iter().map(|c| c.component_size).sum::<usize>() as f64 / n,
             mean_after: clusters.iter().map(|c| c.size()).sum::<usize>() as f64 / n,
             max_after: clusters.iter().map(|c| c.size()).max().unwrap_or(0),
             active_clusters: clusters.iter().filter(|c| !c.aggressors.is_empty()).count(),

@@ -80,11 +80,7 @@ pub fn check_receiver_propagation(
     // Fanout-of-one-ish load.
     ckt.add_capacitor(out, Circuit::GROUND, cell.input_cap().max(1e-15));
 
-    let res = Simulator::new(&ckt).transient_probed(
-        t_end,
-        &SimOptions::default(),
-        &[out],
-    )?;
+    let res = Simulator::new(&ckt).transient_probed(t_end, &SimOptions::default(), &[out])?;
     let output = res.waveform(out);
 
     // The receiver's quiet output level given the quiet input level.
@@ -145,13 +141,7 @@ pub fn noise_immunity_curve(
             let sign = if quiet_level > 0.5 * vdd { -1.0 } else { 1.0 };
             Waveform::from_samples(
                 vec![0.0, t0, t0 + width, t0 + 2.0 * width, t0 + 3.0 * width],
-                vec![
-                    quiet_level,
-                    quiet_level,
-                    quiet_level + sign * amp,
-                    quiet_level,
-                    quiet_level,
-                ],
+                vec![quiet_level, quiet_level, quiet_level + sign * amp, quiet_level, quiet_level],
             )
         };
         // Bisection on amplitude.
@@ -188,18 +178,14 @@ mod tests {
 
     /// A triangular glitch waveform rising from 0 to `peak` and back.
     fn glitch(peak: f64) -> Waveform {
-        Waveform::from_samples(
-            vec![0.0, 1e-9, 1.5e-9, 2e-9, 5e-9],
-            vec![0.0, 0.0, peak, 0.0, 0.0],
-        )
+        Waveform::from_samples(vec![0.0, 1e-9, 1.5e-9, 2e-9, 5e-9], vec![0.0, 0.0, peak, 0.0, 0.0])
     }
 
     #[test]
     fn small_glitch_is_absorbed() {
         let lib = CellLibrary::standard_025();
         let inv = lib.cell("INVX4").unwrap();
-        let check =
-            check_receiver_propagation(inv, &glitch(0.3), 0.0, VDD, 0.2).unwrap();
+        let check = check_receiver_propagation(inv, &glitch(0.3), 0.0, VDD, 0.2).unwrap();
         assert!(!check.propagates, "0.3 V into a 2.5 V inverter is absorbed");
         assert!(check.output_peak.abs() < 0.5, "{}", check.output_peak);
         assert!((check.input_peak - 0.3).abs() < 1e-9);
@@ -209,8 +195,7 @@ mod tests {
     fn rail_to_rail_glitch_propagates() {
         let lib = CellLibrary::standard_025();
         let inv = lib.cell("INVX4").unwrap();
-        let check =
-            check_receiver_propagation(inv, &glitch(2.4), 0.0, VDD, 0.2).unwrap();
+        let check = check_receiver_propagation(inv, &glitch(2.4), 0.0, VDD, 0.2).unwrap();
         assert!(check.propagates, "a near-rail glitch must flip the output");
         // Inverter output starts high (input quiet low) and collapses.
         assert!(check.output_peak < -1.0, "{}", check.output_peak);
@@ -251,8 +236,7 @@ mod tests {
     fn buffer_polarity_is_handled() {
         let lib = CellLibrary::standard_025();
         let buf = lib.cell("BUFX4").unwrap();
-        let check =
-            check_receiver_propagation(buf, &glitch(2.3), 0.0, VDD, 0.2).unwrap();
+        let check = check_receiver_propagation(buf, &glitch(2.3), 0.0, VDD, 0.2).unwrap();
         // Non-inverting: quiet output low, glitch pushes it up.
         assert!(check.output_peak > 0.5, "{}", check.output_peak);
     }

@@ -53,9 +53,9 @@ pub fn compute_windows(
     let mut windows: Vec<Option<(f64, f64)>> = vec![None; n];
 
     // Primary inputs: no driver.
-    for k in 0..n {
+    for (k, w) in windows.iter_mut().enumerate() {
         if design.drivers_of(NetId(k)).is_empty() {
-            windows[k] = Some(opts.input_window);
+            *w = Some(opts.input_window);
         }
     }
 
@@ -70,16 +70,9 @@ pub fn compute_windows(
                 continue;
             }
             // Net loading from the parasitic view plus receiver pins.
-            let load = ctx
-                .db
-                .find_net(design.net_name(net))
-                .map(|p| ctx.db.total_cap(p))
-                .unwrap_or(0.0)
-                + ctx
-                    .db
-                    .find_net(design.net_name(net))
-                    .map(|p| ctx.load_cap(p))
-                    .unwrap_or(0.0);
+            let load =
+                ctx.db.find_net(design.net_name(net)).map(|p| ctx.db.total_cap(p)).unwrap_or(0.0)
+                    + ctx.db.find_net(design.net_name(net)).map(|p| ctx.load_cap(p)).unwrap_or(0.0);
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
             let mut any = false;
@@ -102,9 +95,8 @@ pub fn compute_windows(
             }
             if any {
                 let new = Some((lo, hi));
-                if windows[k].map_or(true, |(a, b)| {
-                    (a - lo).abs() > 1e-15 || (b - hi).abs() > 1e-15
-                }) {
+                if windows[k].is_none_or(|(a, b)| (a - lo).abs() > 1e-15 || (b - hi).abs() > 1e-15)
+                {
                     windows[k] = new;
                     changed = true;
                 }
@@ -163,13 +155,8 @@ mod tests {
     #[test]
     fn windows_accumulate_stage_delay_along_a_chain() {
         let (design, db, lib, charlib) = chain();
-        let ctx = AnalysisContext::with_design(
-            &db,
-            &design,
-            &lib,
-            &charlib,
-            DriverModelKind::Nonlinear,
-        );
+        let ctx =
+            AnalysisContext::with_design(&db, &design, &lib, &charlib, DriverModelKind::Nonlinear);
         let opts = StaOptions::default();
         let w = compute_windows(&ctx, &opts).unwrap();
         let pi = design.find_net("pi").unwrap();
@@ -190,13 +177,8 @@ mod tests {
     #[test]
     fn apply_windows_round_trips() {
         let (mut design, db, lib, charlib) = chain();
-        let ctx = AnalysisContext::with_design(
-            &db,
-            &design,
-            &lib,
-            &charlib,
-            DriverModelKind::Nonlinear,
-        );
+        let ctx =
+            AnalysisContext::with_design(&db, &design, &lib, &charlib, DriverModelKind::Nonlinear);
         let w = compute_windows(&ctx, &StaOptions::default()).unwrap();
         apply_windows(&mut design, &w);
         let n2 = design.find_net("n2").unwrap();
@@ -226,13 +208,8 @@ mod tests {
         let lib = CellLibrary::standard_025();
         let mut charlib = CharLibrary::default();
         charlib.insert(characterize(lib.cell("INVX2").unwrap()).unwrap());
-        let ctx = AnalysisContext::with_design(
-            &db,
-            &design,
-            &lib,
-            &charlib,
-            DriverModelKind::Nonlinear,
-        );
+        let ctx =
+            AnalysisContext::with_design(&db, &design, &lib, &charlib, DriverModelKind::Nonlinear);
         let opts = StaOptions { max_passes: 8, ..Default::default() };
         // No primary inputs → no windows ever form; must return quickly.
         let w = compute_windows(&ctx, &opts).unwrap();

@@ -1,21 +1,17 @@
-//! Property-based tests of crosstalk-analysis invariants over randomized
-//! clusters: passivity bounds, monotonicity in coupling, and delay
-//! bracketing.
+//! Randomized-property tests of crosstalk-analysis invariants over
+//! randomized clusters: passivity bounds, monotonicity in coupling, and
+//! delay bracketing. Driven by the seeded internal PRNG so the workspace
+//! builds offline.
 
-use pcv_netlist::{NetNodeRef, NetParasitics, ParasiticDb, PNetId};
+use pcv_netlist::{NetNodeRef, NetParasitics, PNetId, ParasiticDb};
+use pcv_rng::Rng;
 use pcv_xtalk::prune::{prune_victim, PruneConfig};
 use pcv_xtalk::{analyze_delay, analyze_glitch, AnalysisContext, AnalysisOptions, DelayMode};
-use proptest::prelude::*;
 
 const VDD: f64 = 2.5;
 
 /// Build a victim + n-aggressor star cluster with randomized RC values.
-fn build_db(
-    n_agg: usize,
-    seg_r: f64,
-    gcap: f64,
-    ccap: f64,
-) -> (ParasiticDb, PNetId) {
+fn build_db(n_agg: usize, seg_r: f64, gcap: f64, ccap: f64) -> (ParasiticDb, PNetId) {
     let mut db = ParasiticDb::new();
     let mk = |name: &str, r: f64, c: f64| {
         let mut n = NetParasitics::new(name);
@@ -50,73 +46,84 @@ fn glitch_peak(db: &ParasiticDb, vid: PNetId, drive: f64) -> f64 {
         .peak
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn glitch_is_bounded_by_the_rails(
-        n_agg in 1usize..5,
-        seg_r in 50.0f64..500.0,
-        gcap in 2e-15f64..20e-15,
-        ccap in 1e-15f64..60e-15,
-        drive in 200.0f64..3000.0,
-    ) {
+#[test]
+fn glitch_is_bounded_by_the_rails() {
+    let mut rng = Rng::new(0xA1B1);
+    for _ in 0..12 {
+        let n_agg = rng.range_usize(1, 5);
+        let seg_r = rng.range_f64(50.0, 500.0);
+        let gcap = rng.range_f64(2e-15, 20e-15);
+        let ccap = rng.range_f64(1e-15, 60e-15);
+        let drive = rng.range_f64(200.0, 3000.0);
         let (db, vid) = build_db(n_agg, seg_r, gcap, ccap);
         let peak = glitch_peak(&db, vid, drive);
         // A passive network of rail-driven aggressors cannot push the
         // victim beyond the aggressor swing.
-        prop_assert!(peak >= 0.0, "rising glitch is non-negative: {peak}");
-        prop_assert!(peak <= VDD + 1e-6, "bounded by vdd: {peak}");
+        assert!(peak >= 0.0, "rising glitch is non-negative: {peak}");
+        assert!(peak <= VDD + 1e-6, "bounded by vdd: {peak}");
     }
+}
 
-    #[test]
-    fn glitch_grows_with_coupling(
-        seg_r in 50.0f64..400.0,
-        gcap in 2e-15f64..15e-15,
-        base_cc in 2e-15f64..20e-15,
-    ) {
+#[test]
+fn glitch_grows_with_coupling() {
+    let mut rng = Rng::new(0xA1B2);
+    for _ in 0..12 {
+        let seg_r = rng.range_f64(50.0, 400.0);
+        let gcap = rng.range_f64(2e-15, 15e-15);
+        let base_cc = rng.range_f64(2e-15, 20e-15);
         let (db1, v1) = build_db(2, seg_r, gcap, base_cc);
         let (db2, v2) = build_db(2, seg_r, gcap, 2.0 * base_cc);
         let p1 = glitch_peak(&db1, v1, 1000.0);
         let p2 = glitch_peak(&db2, v2, 1000.0);
-        prop_assert!(p2 >= p1 - 1e-6, "doubling coupling grows the glitch: {p1} -> {p2}");
+        assert!(p2 >= p1 - 1e-6, "doubling coupling grows the glitch: {p1} -> {p2}");
     }
+}
 
-    #[test]
-    fn glitch_shrinks_with_stronger_victim_holder(
-        seg_r in 50.0f64..400.0,
-        ccap in 5e-15f64..40e-15,
-    ) {
+#[test]
+fn glitch_shrinks_with_stronger_victim_holder() {
+    let mut rng = Rng::new(0xA1B3);
+    for _ in 0..12 {
+        let seg_r = rng.range_f64(50.0, 400.0);
+        let ccap = rng.range_f64(5e-15, 40e-15);
         let (db, vid) = build_db(2, seg_r, 5e-15, ccap);
         // Same network, weaker vs stronger holding drivers.
         let weak = glitch_peak(&db, vid, 2000.0);
         let strong = glitch_peak(&db, vid, 400.0);
-        prop_assert!(strong <= weak + 1e-6, "stronger holder shrinks the glitch: {weak} vs {strong}");
+        assert!(strong <= weak + 1e-6, "stronger holder shrinks the glitch: {weak} vs {strong}");
     }
+}
 
-    #[test]
-    fn delay_brackets_hold(
-        seg_r in 100.0f64..400.0,
-        gcap in 3e-15f64..15e-15,
-        ccap in 5e-15f64..30e-15,
-    ) {
+#[test]
+fn delay_brackets_hold() {
+    let mut rng = Rng::new(0xA1B4);
+    for _ in 0..12 {
+        let seg_r = rng.range_f64(100.0, 400.0);
+        let gcap = rng.range_f64(3e-15, 15e-15);
+        let ccap = rng.range_f64(5e-15, 30e-15);
         let (db, vid) = build_db(2, seg_r, gcap, ccap);
-        let cluster =
-            prune_victim(&db, vid, &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 });
+        let cluster = prune_victim(&db, vid, &PruneConfig { cap_ratio: 0.0, max_aggressors: 12 });
         let ctx = AnalysisContext::fixed_resistance(&db, 800.0);
         let opts = AnalysisOptions { tstop: 30e-9, ..Default::default() };
         let worst = analyze_delay(
-            &ctx, &cluster, true,
-            DelayMode::Coupled { aggressors_opposite: true }, &opts,
-        ).unwrap().delay;
-        let base = analyze_delay(&ctx, &cluster, true, DelayMode::Decoupled, &opts)
-            .unwrap()
-            .delay;
+            &ctx,
+            &cluster,
+            true,
+            DelayMode::Coupled { aggressors_opposite: true },
+            &opts,
+        )
+        .unwrap()
+        .delay;
+        let base = analyze_delay(&ctx, &cluster, true, DelayMode::Decoupled, &opts).unwrap().delay;
         let best = analyze_delay(
-            &ctx, &cluster, true,
-            DelayMode::Coupled { aggressors_opposite: false }, &opts,
-        ).unwrap().delay;
-        prop_assert!(best <= base + 1e-14, "helping aggressors never slower: {best} vs {base}");
-        prop_assert!(worst >= base - 1e-14, "opposing aggressors never faster: {worst} vs {base}");
+            &ctx,
+            &cluster,
+            true,
+            DelayMode::Coupled { aggressors_opposite: false },
+            &opts,
+        )
+        .unwrap()
+        .delay;
+        assert!(best <= base + 1e-14, "helping aggressors never slower: {best} vs {base}");
+        assert!(worst >= base - 1e-14, "opposing aggressors never faster: {worst} vs {base}");
     }
 }

@@ -1,5 +1,7 @@
 //! Audit a parallel bus for crosstalk glitches: extract an 8-bit bus routed
-//! at minimum pitch, then check every bit with the chip-level verifier.
+//! at minimum pitch, then check every bit with the chip-level verifier —
+//! run through the parallel `pcv-engine` pool, with the serial
+//! `verify_chip` path kept as the reference cross-check.
 //!
 //! This is the workload the paper's introduction motivates: long parallel
 //! wires at deep-submicron pitch where coupling dominates capacitance.
@@ -8,19 +10,35 @@
 
 use pcv_designs::structures::bundle;
 use pcv_designs::Technology;
+use pcv_engine::{Engine, EngineConfig};
 use pcv_netlist::PNetId;
 use pcv_xtalk::prune::PruneConfig;
 use pcv_xtalk::{verify_chip, AnalysisContext, AnalysisOptions, XtalkError};
 
 fn main() -> Result<(), XtalkError> {
     let tech = Technology::c025();
+    let engine = Engine::new(EngineConfig {
+        workers: 0, // one per core
+        analysis: AnalysisOptions::default(),
+        ..Default::default()
+    });
 
     for &length_um in &[500.0, 1500.0, 3000.0] {
         // An 8-bit bus: adjacent bits couple strongly, edge bits less.
         let db = bundle(8, length_um * 1e-6, &tech);
         let victims: Vec<PNetId> = (0..db.num_nets()).map(PNetId).collect();
         let ctx = AnalysisContext::fixed_resistance(&db, 800.0);
-        let report = verify_chip(
+        let report = engine.verify(&ctx, &victims)?;
+
+        println!("=== {length_um:.0} um bus ===");
+        print!("{}", report.to_text());
+        // Interior bits see two aggressors and fare worst; confirm the
+        // audit ranks them above the edge bits.
+        let worst = &report.chip.verdicts[0];
+        println!("worst bit: {} at {:.1}% of Vdd", worst.name, 100.0 * worst.worst_frac);
+
+        // Serial reference path: must agree bit for bit.
+        let serial = verify_chip(
             &ctx,
             &victims,
             &PruneConfig::default(),
@@ -28,17 +46,8 @@ fn main() -> Result<(), XtalkError> {
             0.10, // warn at 10% of Vdd
             0.20, // fail at 20% of Vdd
         )?;
-
-        println!("=== {length_um:.0} um bus ===");
-        print!("{}", report.to_text());
-        // Interior bits see two aggressors and fare worst; confirm the
-        // audit ranks them above the edge bits.
-        let worst = &report.verdicts[0];
-        println!(
-            "worst bit: {} at {:.1}% of Vdd\n",
-            worst.name,
-            100.0 * worst.worst_frac
-        );
+        assert_eq!(report.chip, serial, "engine must match the serial reference");
+        println!("serial reference matches the engine report\n");
     }
     Ok(())
 }

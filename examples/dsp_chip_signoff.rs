@@ -1,7 +1,8 @@
 //! Full-flow DSP sign-off: generate a DSP-like block, pre-characterize the
 //! cells its drivers use, and run the chip-level crosstalk audit on every
 //! latch-input victim with the nonlinear cell model — the paper's Section 5
-//! flow end to end.
+//! flow end to end, driven by the parallel `pcv-engine` orchestrator with
+//! an incremental result cache (rerun the example to see warm-cache hits).
 //!
 //! Run with: `cargo run --release -p pcv-bench --example dsp_chip_signoff`
 
@@ -9,6 +10,7 @@ use pcv_bench::charlib_for;
 use pcv_cells::library::CellLibrary;
 use pcv_designs::dsp::{generate, DspConfig};
 use pcv_designs::Technology;
+use pcv_engine::{Engine, EngineConfig};
 use pcv_netlist::PNetId;
 use pcv_xtalk::drivers::DriverModelKind;
 use pcv_xtalk::prune::PruneConfig;
@@ -33,8 +35,8 @@ fn main() -> Result<(), XtalkError> {
 
     println!("pre-characterizing driver cells (one-time task)...");
     let charlib = charlib_for(&[
-        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4",
-        "NOR2X2", "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
+        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4", "NOR2X2",
+        "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
     ]);
     println!("  {} cells characterized", charlib.len());
 
@@ -42,12 +44,7 @@ fn main() -> Result<(), XtalkError> {
     let victims: Vec<PNetId> = block
         .latch_victims()
         .into_iter()
-        .map(|d| {
-            block
-                .parasitics
-                .find_net(block.design.net_name(d))
-                .expect("views are aligned")
-        })
+        .map(|d| block.parasitics.find_net(block.design.net_name(d)).expect("views are aligned"))
         .collect();
     println!("auditing {} latch-input victims...", victims.len());
 
@@ -58,7 +55,30 @@ fn main() -> Result<(), XtalkError> {
         &charlib,
         DriverModelKind::Nonlinear,
     );
-    let report = verify_chip(
+
+    // Parallel, cached sign-off run: one cluster job per victim on a
+    // work-stealing pool, verdicts stored under topology fingerprints in
+    // target/ so an unchanged rerun skips every analysis.
+    let cache =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/dsp_signoff.cache");
+    let engine = Engine::new(EngineConfig {
+        workers: 0, // one per core
+        cache_path: Some(cache),
+        ..Default::default()
+    });
+    let report = engine.verify(&ctx, &victims)?;
+
+    print!("{}", report.to_text());
+    println!(
+        "\n{} violations, {} total flagged — pruning kept clusters at {:.1} nets on average",
+        report.chip.num_violations(),
+        report.chip.flagged().count(),
+        report.chip.pruning.mean_after
+    );
+
+    // The serial reference path produces the identical report (the engine
+    // is deterministic); keep it as the cross-check of the fast path.
+    let serial = verify_chip(
         &ctx,
         &victims,
         &PruneConfig::default(),
@@ -66,13 +86,7 @@ fn main() -> Result<(), XtalkError> {
         0.10,
         0.20,
     )?;
-
-    print!("{}", report.to_text());
-    println!(
-        "\n{} violations, {} total flagged — pruning kept clusters at {:.1} nets on average",
-        report.num_violations(),
-        report.flagged().count(),
-        report.pruning.mean_after
-    );
+    assert_eq!(report.chip, serial, "engine must match the serial reference");
+    println!("serial reference audit matches the engine report exactly");
     Ok(())
 }

@@ -64,11 +64,7 @@ fn main() -> Result<(), XtalkError> {
         rising.t_peak * 1e9,
         rising.reduced_order.unwrap_or(0)
     );
-    println!(
-        "falling glitch: {:+.4} V at {:.2} ns",
-        falling.peak,
-        falling.t_peak * 1e9
-    );
+    println!("falling glitch: {:+.4} V at {:.2} ns", falling.peak, falling.t_peak * 1e9);
     let frac = rising.peak.abs().max(falling.peak.abs()) / opts.vdd;
     println!("worst case is {:.1}% of Vdd", 100.0 * frac);
     Ok(())

@@ -46,13 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_vic = result.waveform(vic);
 
     // The inverter *output* falls when the input pulse rises.
-    let t_fall = w_drv
-        .crossing(1.25, false, 0.0)
-        .ok_or("driver never fell")?;
+    let t_fall = w_drv.crossing(1.25, false, 0.0).ok_or("driver never fell")?;
     println!("driver 50% fall at {:.3} ns", t_fall * 1e9);
     if let Some(t_far) = w_far.crossing(1.25, false, 0.0) {
-        println!("wire-end 50% fall at {:.3} ns (interconnect delay {:.1} ps)",
-                 t_far * 1e9, (t_far - t_fall) * 1e12);
+        println!(
+            "wire-end 50% fall at {:.3} ns (interconnect delay {:.1} ps)",
+            t_far * 1e9,
+            (t_far - t_fall) * 1e12
+        );
     }
     let (t_peak, peak) = w_vic.peak_deviation(0.0);
     println!(
@@ -61,9 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t_peak * 1e9,
         100.0 * peak.abs() / 2.5
     );
-    println!(
-        "simulated {} timesteps, {} Newton iterations",
-        result.steps, result.newton_iters
-    );
+    println!("simulated {} timesteps, {} Newton iterations", result.steps, result.newton_iters);
     Ok(())
 }

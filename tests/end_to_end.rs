@@ -15,8 +15,8 @@ use pcv_xtalk::{
 
 fn charlib() -> pcv_cells::charlib::CharLibrary {
     charlib_for(&[
-        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4",
-        "NOR2X2", "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
+        "INVX2", "INVX4", "INVX8", "BUFX4", "BUFX8", "BUFX12", "NAND2X2", "NAND2X4", "NOR2X2",
+        "NOR2X4", "TBUFX4", "TBUFX8", "TBUFX16",
     ])
 }
 
@@ -109,10 +109,7 @@ fn nonlinear_model_tracks_transistor_reference_on_dsp_victim() {
         &lib,
     );
     let victim_design = block.latch_victims()[2];
-    let victim = block
-        .parasitics
-        .find_net(block.design.net_name(victim_design))
-        .unwrap();
+    let victim = block.parasitics.find_net(block.design.net_name(victim_design)).unwrap();
     let cluster = prune_victim(
         &block.parasitics,
         victim,
@@ -137,8 +134,7 @@ fn nonlinear_model_tracks_transistor_reference_on_dsp_victim() {
         DriverModelKind::TransistorLevel,
     );
     let opts = AnalysisOptions::default();
-    let spice_opts =
-        AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
+    let spice_opts = AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
 
     let model = analyze_glitch(&model_ctx, &cluster, true, &opts).unwrap();
     let reference = analyze_glitch(&ref_ctx, &cluster, true, &spice_opts).unwrap();

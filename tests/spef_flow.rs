@@ -26,10 +26,7 @@ fn spef_round_trip_preserves_analysis_results() {
     };
     let before = run(&db);
     let after = run(&db2);
-    assert!(
-        (before - after).abs() < 1e-9,
-        "identical results through SPEF: {before} vs {after}"
-    );
+    assert!((before - after).abs() < 1e-9, "identical results through SPEF: {before} vs {after}");
 }
 
 #[test]

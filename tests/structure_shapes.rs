@@ -50,8 +50,7 @@ fn table2_shape_coupling_brackets_decoupled_delay() {
     let opts = AnalysisOptions { tstop: 30e-9, ..Default::default() };
 
     for rising in [true, false] {
-        let base =
-            analyze_delay(&ctx, &cluster, rising, DelayMode::Decoupled, &opts).unwrap();
+        let base = analyze_delay(&ctx, &cluster, rising, DelayMode::Decoupled, &opts).unwrap();
         let worst = analyze_delay(
             &ctx,
             &cluster,
@@ -89,15 +88,9 @@ fn interior_bus_bits_fare_worse_than_edge_bits() {
     let db = bundle(6, 1200e-6, &tech);
     let victims: Vec<PNetId> = (0..db.num_nets()).map(PNetId).collect();
     let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
-    let report = verify_chip(
-        &ctx,
-        &victims,
-        &PruneConfig::default(),
-        &AnalysisOptions::default(),
-        0.1,
-        0.2,
-    )
-    .unwrap();
+    let report =
+        verify_chip(&ctx, &victims, &PruneConfig::default(), &AnalysisOptions::default(), 0.1, 0.2)
+            .unwrap();
     // Worst victims are interior bits (two strong neighbors).
     let worst_name = &report.verdicts[0].name;
     assert!(
@@ -118,8 +111,7 @@ fn engines_agree_on_extracted_structures() {
     let cluster = prune_victim(&db, victim, &PruneConfig::default());
     let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
     let mor = analyze_glitch(&ctx, &cluster, true, &AnalysisOptions::default()).unwrap();
-    let spice_opts =
-        AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
+    let spice_opts = AnalysisOptions { engine: EngineKind::Spice, ..AnalysisOptions::default() };
     let spice = analyze_glitch(&ctx, &cluster, true, &spice_opts).unwrap();
     let rel = (mor.peak - spice.peak).abs() / spice.peak.abs();
     assert!(rel < 0.02, "mpvl {} vs spice {} ({rel})", mor.peak, spice.peak);
