@@ -57,6 +57,22 @@ fn bench_chip_engine(tech: &Technology) {
         });
     }
 
+    // Traced run: same audit with the pcv-trace collector installed, to
+    // quantify enabled-mode overhead next to the untraced workers=4 case.
+    // The trace artifacts land in target/ for chrome://tracing.
+    let traced = Engine::new(EngineConfig { workers: 4, trace: true, ..Default::default() });
+    bench_case("chip_engine", "workers=4+trace", 5, || traced.verify(&ctx, &victims).unwrap());
+    let report = traced.verify(&ctx, &victims).unwrap();
+    let stem = std::env::temp_dir().join("pcv-engines-bench");
+    if let (Some(trace), Ok(paths)) = (&report.trace, report.write_profile(&stem)) {
+        println!(
+            "# traced run: {} spans, {} counters -> {}",
+            trace.spans.len(),
+            trace.counters.len(),
+            paths.iter().map(|p| p.display().to_string()).collect::<Vec<_>>().join(", ")
+        );
+    }
+
     // Warm cache: prime the store once, then measure re-runs where every
     // cluster is unchanged and every job is answered from the cache.
     let cache_path = std::env::temp_dir().join("pcv-engine-bench-cache");

@@ -3,7 +3,7 @@
 
 use crate::cache::{CacheEntry, CachedReceiver, ResultCache};
 use crate::fingerprint::{cluster_fingerprint, config_hash};
-use crate::report::{EngineError, EngineReport, EngineStats};
+use crate::report::{ClusterCost, EngineError, EngineReport, EngineStats};
 use crate::scheduler;
 use pcv_cells::library::CellKind;
 use pcv_netlist::PNetId;
@@ -16,7 +16,6 @@ use pcv_xtalk::{
 };
 use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -37,6 +36,13 @@ pub struct EngineConfig {
     pub check_receivers: bool,
     /// Incremental result store; `None` disables caching.
     pub cache_path: Option<PathBuf>,
+    /// Collect a structured trace of the run ([`pcv_trace`]): spans for
+    /// every pipeline stage, solver counters, queue-depth histograms. The
+    /// merged trace lands in [`EngineReport::trace`]; with `cache_path`
+    /// set, Chrome-trace and profile JSON files are also written next to
+    /// the cache. Off by default — instrumentation then costs one relaxed
+    /// atomic load per site.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +55,7 @@ impl Default for EngineConfig {
             fail_frac: 0.2,
             check_receivers: false,
             cache_path: None,
+            trace: false,
         }
     }
 }
@@ -73,6 +80,9 @@ struct JobOk {
     cluster: Cluster,
     cached: bool,
     entry: Option<CacheEntry>,
+    prune: Duration,
+    analysis: Duration,
+    receiver: Duration,
 }
 
 /// Classify peaks against the noise-margin thresholds (serial rule).
@@ -129,15 +139,19 @@ impl Engine {
                 what: "receiver checks need design and library data",
             });
         }
+        let session = if cfg.trace { Some(pcv_trace::TraceSession::start()) } else { None };
         let start = Instant::now();
         let workers = match cfg.workers {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n,
         };
 
-        let cache = match cfg.cache_path.as_deref() {
-            Some(path) => ResultCache::load(path),
-            None => ResultCache::new(),
+        let cache = {
+            let _span = pcv_trace::span("engine", "cache_load");
+            match cfg.cache_path.as_deref() {
+                Some(path) => ResultCache::load(path),
+                None => ResultCache::new(),
+            }
         };
         // One union-find for the whole run instead of one per victim.
         let component_sizes = coupling_component_sizes(ctx.db);
@@ -150,20 +164,20 @@ impl Engine {
             cfg.check_receivers,
         );
 
-        let prune_ns = AtomicU64::new(0);
-        let analysis_ns = AtomicU64::new(0);
-        let receiver_ns = AtomicU64::new(0);
-
         let job = |i: usize| -> Result<JobOk, XtalkError> {
             let vic = victims[i];
+            let _job_span = pcv_trace::span_labeled("engine", "cluster_job", || {
+                ctx.db.net(vic).name().to_owned()
+            });
             let t = Instant::now();
             let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, &component_sizes);
-            prune_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let prune = t.elapsed();
             let name = ctx.db.net(vic).name().to_owned();
             assert!(!self.faults.contains(&name), "injected fault in cluster job for {name}");
 
             let fp = cluster_fingerprint(ctx, &cluster, chash);
             if let Some(e) = cache.lookup(&name, fp) {
+                pcv_trace::count("engine.cache.hits", 1);
                 let rise = f64::from_bits(e.rise_bits);
                 let fall = f64::from_bits(e.fall_bits);
                 let (worst_frac, severity) =
@@ -184,8 +198,17 @@ impl Engine {
                     neighbors_before: cluster.neighbors_before,
                     receiver,
                 };
-                return Ok(JobOk { verdict, cluster, cached: true, entry: None });
+                return Ok(JobOk {
+                    verdict,
+                    cluster,
+                    cached: true,
+                    entry: None,
+                    prune,
+                    analysis: Duration::ZERO,
+                    receiver: Duration::ZERO,
+                });
             }
+            pcv_trace::count("engine.cache.misses", 1);
 
             let t = Instant::now();
             let (rise, fall, worse) = if cluster.aggressors.is_empty() {
@@ -197,13 +220,14 @@ impl Engine {
                 let worse = if rise.abs() >= fall.abs() { up } else { down };
                 (rise, fall, Some(worse))
             };
-            analysis_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let analysis = t.elapsed();
             let (worst_frac, severity) =
                 classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+            let mut receiver_time = Duration::ZERO;
             let receiver = if cfg.check_receivers && severity >= Severity::Warning {
                 let t = Instant::now();
                 let r = self.receiver_check(ctx, &cluster, &name, rise, fall, worse)?;
-                receiver_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                receiver_time = t.elapsed();
                 Some(r)
             } else {
                 None
@@ -229,7 +253,15 @@ impl Engine {
                 neighbors_before: cluster.neighbors_before,
                 receiver,
             };
-            Ok(JobOk { verdict, cluster, cached: false, entry: Some(entry) })
+            Ok(JobOk {
+                verdict,
+                cluster,
+                cached: false,
+                entry: Some(entry),
+                prune,
+                analysis,
+                receiver: receiver_time,
+            })
         };
 
         let (results, run_stats) = scheduler::run(workers, victims.len(), job);
@@ -237,11 +269,15 @@ impl Engine {
         // Deterministic merge: collect in input order, then apply the exact
         // stable sort the serial flow uses. Stability makes ties keep input
         // order, so the merged report is independent of scheduling.
+        let merge_span = pcv_trace::span("engine", "merge");
         let mut verdicts = Vec::with_capacity(victims.len());
         let mut clusters = Vec::with_capacity(victims.len());
+        let mut costs: Vec<ClusterCost> = Vec::with_capacity(victims.len());
         let mut errors = Vec::new();
         let mut fresh: Vec<(String, CacheEntry)> = Vec::new();
         let (mut hits, mut misses) = (0usize, 0usize);
+        let (mut prune_total, mut analysis_total, mut receiver_total) =
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO);
         for (i, result) in results.into_iter().enumerate() {
             let flat = match result {
                 Ok(Ok(ok)) => Ok(ok),
@@ -258,6 +294,18 @@ impl Engine {
                     if let Some(entry) = ok.entry {
                         fresh.push((ok.verdict.name.clone(), entry));
                     }
+                    prune_total += ok.prune;
+                    analysis_total += ok.analysis;
+                    receiver_total += ok.receiver;
+                    costs.push(ClusterCost {
+                        net: ok.verdict.net,
+                        name: ok.verdict.name.clone(),
+                        cluster_size: ok.verdict.cluster_size,
+                        cached: ok.cached,
+                        prune: ok.prune,
+                        analysis: ok.analysis,
+                        receiver: ok.receiver,
+                    });
                     verdicts.push(ok.verdict);
                     clusters.push(ok.cluster);
                 }
@@ -269,8 +317,12 @@ impl Engine {
             }
         }
         verdicts.sort_by(|a, b| b.worst_frac.partial_cmp(&a.worst_frac).expect("finite fractions"));
+        // Most expensive first; the stable sort keeps ties in input order.
+        costs.sort_by_key(|c| std::cmp::Reverse(c.total()));
+        drop(merge_span);
 
         if let Some(path) = cfg.cache_path.as_deref() {
+            let _span = pcv_trace::span("engine", "cache_save");
             let mut updated = cache;
             for (name, entry) in fresh {
                 updated.insert(name, entry);
@@ -284,14 +336,15 @@ impl Engine {
             victims: victims.len(),
             cache_hits: hits,
             cache_misses: misses,
-            prune_time: Duration::from_nanos(prune_ns.into_inner()),
-            analysis_time: Duration::from_nanos(analysis_ns.into_inner()),
-            receiver_time: Duration::from_nanos(receiver_ns.into_inner()),
+            prune_time: prune_total,
+            analysis_time: analysis_total,
+            receiver_time: receiver_total,
             wall_time: start.elapsed(),
             worker_busy: run_stats.worker_busy,
             steals: run_stats.steals,
         };
-        Ok(EngineReport {
+        let trace = session.map(|s| s.finish());
+        let report = EngineReport {
             chip: ChipReport {
                 verdicts,
                 pruning: PruningStats::compute(&clusters),
@@ -300,7 +353,17 @@ impl Engine {
             },
             errors,
             stats,
-        })
+            clusters: costs,
+            trace,
+        };
+        // Traced runs with a cache location drop their artifacts next to
+        // the cache file (best-effort, like the cache save itself).
+        if report.trace.is_some() {
+            if let Some(path) = cfg.cache_path.as_deref() {
+                let _ = report.write_profile(path);
+            }
+        }
+        Ok(report)
     }
 
     /// In-job receiver check: the serial [`pcv_xtalk::audit_receivers`]

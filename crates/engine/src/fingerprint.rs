@@ -11,6 +11,12 @@
 //! Two runs that produce the same fingerprint for a victim are guaranteed
 //! to run the exact same floating-point analysis, so the cached verdict is
 //! bit-identical to a recomputed one.
+//!
+//! Element lists are *canonicalized* (sorted) before hashing, so the
+//! fingerprint depends only on the electrical content of a cluster, not on
+//! the order a parasitic extractor happened to emit resistors, capacitors,
+//! or couplings. Re-extracting an unchanged layout therefore keeps the
+//! cache warm even when the netlist file shuffles.
 
 use pcv_xtalk::prune::Cluster;
 use pcv_xtalk::AnalysisContext;
@@ -80,7 +86,9 @@ pub fn config_hash(
     use pcv_xtalk::drivers::DriverModelKind;
     use pcv_xtalk::EngineKind;
     let mut h = Fnv1a::new();
-    h.write_str("pcv-engine config v1");
+    // v2: element lists are canonicalized before hashing (insertion-order
+    // independent fingerprints). Bumping the tag invalidates v1 caches.
+    h.write_str("pcv-engine config v2");
     h.write_f64(prune.cap_ratio);
     h.write_usize(prune.max_aggressors);
     match opts.engine {
@@ -126,27 +134,45 @@ pub fn cluster_fingerprint(ctx: &AnalysisContext<'_>, cluster: &Cluster, config:
         let net = ctx.db.net(m);
         h.write_str(net.name());
         h.write_usize(net.num_nodes());
-        for &n in net.load_nodes() {
+        // Canonical order for every element list: the fingerprint must not
+        // depend on the order an extractor emitted the netlist.
+        let mut loads: Vec<usize> = net.load_nodes().to_vec();
+        loads.sort_unstable();
+        for n in loads {
             h.write_usize(n);
         }
-        for &(a, b, ohms) in net.resistors() {
+        let mut resistors: Vec<(usize, usize, u64)> =
+            net.resistors().iter().map(|&(a, b, ohms)| (a, b, ohms.to_bits())).collect();
+        resistors.sort_unstable();
+        for (a, b, bits) in resistors {
             h.write_usize(a);
             h.write_usize(b);
-            h.write_f64(ohms);
+            h.write_u64(bits);
         }
-        for &(n, c) in net.ground_caps() {
+        let mut gcaps: Vec<(usize, u64)> =
+            net.ground_caps().iter().map(|&(n, c)| (n, c.to_bits())).collect();
+        gcaps.sort_unstable();
+        for (n, bits) in gcaps {
             h.write_usize(n);
-            h.write_f64(c);
+            h.write_u64(bits);
         }
         // Every coupling incident to a member shapes the analyzed network:
         // member-to-member caps directly, member-to-outside caps through
         // conservative decoupling (grounded at the member node).
-        for c in ctx.db.couplings_of(m) {
-            let (own, other) = if c.a.net == m { (c.a, c.b) } else { (c.b, c.a) };
-            h.write_usize(own.node);
-            h.write_str(ctx.db.net(other.net).name());
-            h.write_usize(other.node);
-            h.write_f64(c.farads);
+        let mut couplings: Vec<(usize, &str, usize, u64)> = ctx
+            .db
+            .couplings_of(m)
+            .map(|c| {
+                let (own, other) = if c.a.net == m { (c.a, c.b) } else { (c.b, c.a) };
+                (own.node, ctx.db.net(other.net).name(), other.node, c.farads.to_bits())
+            })
+            .collect();
+        couplings.sort_unstable();
+        for (own_node, other_name, other_node, bits) in couplings {
+            h.write_usize(own_node);
+            h.write_str(other_name);
+            h.write_usize(other_node);
+            h.write_u64(bits);
         }
         // Design-side inputs: receiver loading, switching window, driver
         // cell, complement partner.

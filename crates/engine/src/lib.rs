@@ -69,4 +69,4 @@ pub mod scheduler;
 pub use cache::{CacheEntry, CachedReceiver, ResultCache};
 pub use engine::{Engine, EngineConfig};
 pub use fingerprint::{cluster_fingerprint, config_hash, Fnv1a};
-pub use report::{EngineError, EngineReport, EngineStats};
+pub use report::{ClusterCost, EngineError, EngineReport, EngineStats};

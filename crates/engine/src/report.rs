@@ -2,8 +2,11 @@
 //! execution statistics.
 
 use pcv_netlist::PNetId;
+use pcv_trace::json::{f64_lit, str_lit};
+use pcv_trace::Trace;
 use pcv_xtalk::ChipReport;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// A cluster job that failed — by returning an analysis error or by
@@ -21,6 +24,33 @@ pub struct EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.name, self.message)
+    }
+}
+
+/// Where one cluster job's time went — the per-victim cost breakdown of
+/// an engine run.
+#[derive(Debug, Clone)]
+pub struct ClusterCost {
+    /// The audited victim.
+    pub net: PNetId,
+    /// Victim net name.
+    pub name: String,
+    /// Cluster size after pruning (victim + kept aggressors).
+    pub cluster_size: usize,
+    /// Whether the verdict came from the incremental cache.
+    pub cached: bool,
+    /// Time pruning this victim.
+    pub prune: Duration,
+    /// Time in glitch analysis (both polarities).
+    pub analysis: Duration,
+    /// Time in the receiver-propagation check, if it ran.
+    pub receiver: Duration,
+}
+
+impl ClusterCost {
+    /// Total accounted time for this job.
+    pub fn total(&self) -> Duration {
+        self.prune + self.analysis + self.receiver
     }
 }
 
@@ -93,6 +123,11 @@ pub struct EngineReport {
     pub errors: Vec<EngineError>,
     /// Execution statistics.
     pub stats: EngineStats,
+    /// Per-cluster cost breakdown, most expensive first.
+    pub clusters: Vec<ClusterCost>,
+    /// Merged trace of the run when [`EngineConfig::trace`]
+    /// (`crate::EngineConfig::trace`) was set.
+    pub trace: Option<Trace>,
 }
 
 impl EngineReport {
@@ -121,7 +156,86 @@ impl EngineReport {
             s.steals,
             100.0 * s.utilization()
         ));
+        for c in self.clusters.iter().take(3) {
+            out.push_str(&format!(
+                "engine: top cost {} ({} nets{}): {:.2} ms analysis, {:.2} ms total\n",
+                c.name,
+                c.cluster_size,
+                if c.cached { ", cached" } else { "" },
+                c.analysis.as_secs_f64() * 1e3,
+                c.total().as_secs_f64() * 1e3
+            ));
+        }
         out
+    }
+
+    /// The run profile — engine statistics plus the per-cluster cost
+    /// breakdown — as a JSON document for downstream tooling.
+    pub fn profile_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::from("{\"engine\":{");
+        out.push_str(&format!(
+            "\"workers\":{},\"victims\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            s.workers, s.victims, s.cache_hits, s.cache_misses
+        ));
+        out.push_str(&format!(
+            "\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\"receiver_ms\":{},",
+            f64_lit(s.wall_time.as_secs_f64() * 1e3),
+            f64_lit(s.prune_time.as_secs_f64() * 1e3),
+            f64_lit(s.analysis_time.as_secs_f64() * 1e3),
+            f64_lit(s.receiver_time.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!(
+            "\"steals\":{},\"utilization\":{},\"throughput\":{},\"errors\":{}}}",
+            s.steals,
+            f64_lit(s.utilization()),
+            f64_lit(s.throughput()),
+            self.errors.len()
+        ));
+        out.push_str(",\"clusters\":[");
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cluster_size\":{},\"cached\":{},\"prune_ms\":{},\
+                 \"analysis_ms\":{},\"receiver_ms\":{},\"total_ms\":{}}}",
+                str_lit(&c.name),
+                c.cluster_size,
+                c.cached,
+                f64_lit(c.prune.as_secs_f64() * 1e3),
+                f64_lit(c.analysis.as_secs_f64() * 1e3),
+                f64_lit(c.receiver.as_secs_f64() * 1e3),
+                f64_lit(c.total().as_secs_f64() * 1e3)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the run's artifacts next to `stem`: `<stem>.profile.json`
+    /// (always) and `<stem>.trace.json` (Chrome trace format, when the run
+    /// was traced). Returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_profile(&self, stem: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        let with_ext = |ext: &str| {
+            let mut os = stem.as_os_str().to_owned();
+            os.push(ext);
+            PathBuf::from(os)
+        };
+        let profile = with_ext(".profile.json");
+        std::fs::write(&profile, self.profile_json())?;
+        written.push(profile);
+        if let Some(trace) = &self.trace {
+            let path = with_ext(".trace.json");
+            trace.write_chrome_trace(&path)?;
+            written.push(path);
+        }
+        Ok(written)
     }
 }
 

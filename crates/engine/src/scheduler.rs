@@ -79,7 +79,14 @@ where
                 let mut busy = Duration::ZERO;
                 loop {
                     // Own queue first (back = most recently dealt).
-                    let mut next = deques[me].lock().expect("deque poisoned").pop_back();
+                    let mut next = None;
+                    {
+                        let mut q = deques[me].lock().expect("deque poisoned");
+                        if let Some(idx) = q.pop_back() {
+                            pcv_trace::value("engine.queue_depth", q.len() as u64);
+                            next = Some(idx);
+                        }
+                    }
                     if next.is_none() {
                         // Steal the oldest job from the first non-empty
                         // sibling.
@@ -89,6 +96,7 @@ where
                             }
                             if let Some(idx) = deque.lock().expect("deque poisoned").pop_front() {
                                 steals.fetch_add(1, Ordering::Relaxed);
+                                pcv_trace::count("engine.steals", 1);
                                 next = Some(idx);
                                 break;
                             }
@@ -108,6 +116,7 @@ where
         drop(tx);
         for (worker, h) in handles.into_iter().enumerate() {
             busy[worker] = h.join().expect("worker thread died outside a job");
+            pcv_trace::value("engine.worker_busy_us", busy[worker].as_micros() as u64);
         }
     });
 

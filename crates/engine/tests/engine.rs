@@ -5,10 +5,11 @@
 use pcv_cells::library::CellLibrary;
 use pcv_designs::dsp::{generate, DspConfig};
 use pcv_designs::Technology;
-use pcv_engine::{Engine, EngineConfig};
+use pcv_engine::{cluster_fingerprint, config_hash, Engine, EngineConfig};
 use pcv_netlist::{NetNodeRef, NetParasitics, PNetId, ParasiticDb};
+use pcv_rng::Rng;
 use pcv_xtalk::drivers::DriverModelKind;
-use pcv_xtalk::prune::PruneConfig;
+use pcv_xtalk::prune::{prune_victim, PruneConfig};
 use pcv_xtalk::{audit_receivers, verify_chip, AnalysisContext, AnalysisOptions};
 
 /// A small DSP block plus its latch-input victim list.
@@ -205,6 +206,117 @@ fn perturbing_one_coupling_invalidates_exactly_that_cluster() {
         let after = second.chip.verdicts.iter().find(|v| v.name == name).unwrap();
         assert_eq!(before, after);
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Fisher–Yates shuffle driven by the deterministic test RNG.
+fn shuffled<T>(mut items: Vec<T>, rng: &mut Rng) -> Vec<T> {
+    for i in (1..items.len()).rev() {
+        let j = rng.range_usize(0, i + 1);
+        items.swap(i, j);
+    }
+    items
+}
+
+/// One victim chained through four nodes plus two multi-tap aggressors.
+/// Every element list (resistors, ground caps, couplings) is inserted in a
+/// `seed`-shuffled order, modeling a parasitic extractor that emits the
+/// same layout in a different file order. `perturb` scales one coupling
+/// capacitor to model an actual layout change.
+fn reorderable_db(seed: u64, perturb: Option<f64>) -> (ParasiticDb, PNetId) {
+    let mut rng = Rng::new(seed);
+    let mut db = ParasiticDb::new();
+    let mk = |rng: &mut Rng, name: &str| {
+        let mut n = NetParasitics::new(name);
+        for _ in 0..3 {
+            n.add_node();
+        }
+        for (a, b, ohms) in shuffled(vec![(0, 1, 150.0), (1, 2, 180.0), (2, 3, 120.0)], rng) {
+            n.add_resistor(a, b, ohms);
+        }
+        for (node, c) in shuffled(vec![(1, 4e-15), (2, 5e-15), (3, 6e-15)], rng) {
+            n.add_ground_cap(node, c);
+        }
+        n.mark_load(3);
+        n
+    };
+    let victim = db.add_net(mk(&mut rng, "victim"));
+    let a0 = db.add_net(mk(&mut rng, "agg0"));
+    let a1 = db.add_net(mk(&mut rng, "agg1"));
+    let mut couplings =
+        vec![(1, a0, 1, 20e-15), (2, a0, 2, 15e-15), (2, a1, 1, 18e-15), (3, a1, 3, 12e-15)];
+    if let Some(scale) = perturb {
+        couplings[2].3 *= scale;
+    }
+    for (vn, agg, an, cc) in shuffled(couplings, &mut rng) {
+        db.add_coupling(
+            NetNodeRef { net: victim, node: vn },
+            NetNodeRef { net: agg, node: an },
+            cc,
+        );
+    }
+    (db, victim)
+}
+
+fn fingerprint_of(db: &ParasiticDb, victim: PNetId) -> u64 {
+    let ctx = AnalysisContext::fixed_resistance(db, 1500.0);
+    let prune = PruneConfig::default();
+    let opts = AnalysisOptions::default();
+    let cluster = prune_victim(db, victim, &prune);
+    assert_eq!(cluster.size(), 3, "fixture must keep both aggressors");
+    let chash = config_hash(&ctx, &prune, &opts, 0.1, 0.2, false);
+    cluster_fingerprint(&ctx, &cluster, chash)
+}
+
+#[test]
+fn fingerprint_is_stable_under_element_reordering() {
+    let (db, victim) = reorderable_db(1, None);
+    let baseline = fingerprint_of(&db, victim);
+    for seed in 2..12 {
+        let (db, victim) = reorderable_db(seed, None);
+        assert_eq!(
+            fingerprint_of(&db, victim),
+            baseline,
+            "insertion order (seed {seed}) leaked into the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_changes_when_one_coupling_cap_moves() {
+    let (db, victim) = reorderable_db(1, None);
+    let baseline = fingerprint_of(&db, victim);
+    for seed in 1..8 {
+        let (db, victim) = reorderable_db(seed, Some(1.01));
+        assert_ne!(
+            fingerprint_of(&db, victim),
+            baseline,
+            "a 1% coupling change (insertion seed {seed}) must invalidate"
+        );
+    }
+}
+
+#[test]
+fn cache_survives_netlist_reordering() {
+    let path = cache_file("reordered-extraction");
+    let _ = std::fs::remove_file(&path);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    });
+
+    let (db, victim) = reorderable_db(3, None);
+    let ctx = AnalysisContext::fixed_resistance(&db, 1500.0);
+    let cold = engine.verify(&ctx, &[victim]).unwrap();
+    assert_eq!(cold.stats.cache_misses, 1);
+
+    // Same layout, different extractor emission order: still a cache hit.
+    let (db2, victim2) = reorderable_db(8, None);
+    let ctx2 = AnalysisContext::fixed_resistance(&db2, 1500.0);
+    let warm = engine.verify(&ctx2, &[victim2]).unwrap();
+    assert_eq!(warm.stats.cache_hits, 1, "reordered netlist must stay warm");
+    assert_eq!(warm.chip, cold.chip);
     let _ = std::fs::remove_file(&path);
 }
 

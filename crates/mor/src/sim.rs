@@ -112,6 +112,7 @@ pub fn simulate(
     if tstop.is_nan() || tstop <= 0.0 {
         return Err(MorError::InvalidValue { what: "tstop" });
     }
+    let _span = pcv_trace::span("mor", "rom_eval");
     let q = model.order();
 
     // Active (current-carrying) ports.
@@ -262,6 +263,8 @@ pub fn simulate(
             }
         }
     }
+    pcv_trace::count("mor.newton_iters", total_newton as u64);
+    pcv_trace::value("mor.tran_steps", steps as u64);
     Ok(MorTranResult { times, data, steps, newton_iters: total_newton })
 }
 

@@ -55,10 +55,14 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
     if block_iters == 0 {
         return Err(MorError::InvalidValue { what: "block_iters" });
     }
+    let _span = pcv_trace::span("mor", "sympvl_reduce");
     let n = cl.num_nodes();
     let g = cl.conductance_matrix();
     let c = cl.capacitance_matrix();
-    let chol = SparseCholesky::factor(&g)?;
+    let chol = {
+        let _chol_span = pcv_trace::span("mor", "cholesky");
+        SparseCholesky::factor(&g)?
+    };
 
     // L = F⁻ᵀ B: column j is L⁻¹ e_{port_j} (forward solve with the Cholesky
     // factor, since F = Lᵀ).
@@ -82,6 +86,7 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
     // Band/block Lanczos with full reorthogonalization. `basis` collects the
     // orthonormal vectors; `av` caches A·v for each basis vector so T can be
     // formed without extra applications.
+    let _lanczos_span = pcv_trace::span("mor", "block_lanczos");
     let max_states = (block_iters * p).min(n);
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(max_states);
     let mut av: Vec<Vec<f64>> = Vec::with_capacity(max_states);
@@ -117,6 +122,7 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
     }
 
     let q = basis.len();
+    pcv_trace::value("mor.reduced_order", q as u64);
     // T = Vᵀ A V from the cached products, symmetrized against rounding.
     let mut t = Dense::zeros(q, q);
     for i in 0..q {

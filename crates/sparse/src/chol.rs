@@ -115,6 +115,9 @@ impl SparseCholesky {
         if a.nrows() != a.ncols() {
             return Err(Error::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
+        let _span = pcv_trace::span("sparse", "chol_factor");
+        pcv_trace::count("sparse.chol.factors", 1);
+        pcv_trace::value("sparse.chol.dim", a.ncols() as u64);
         let n = a.ncols();
         let parent = etree(a);
         let mut visited = vec![false; n];
@@ -211,6 +214,7 @@ impl SparseCholesky {
     ///
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        pcv_trace::count("sparse.chol.solves", 1);
         let mut x = b.to_vec();
         self.solve_lower_in_place(&mut x);
         self.solve_lower_t_in_place(&mut x);
@@ -226,6 +230,7 @@ impl SparseCholesky {
     /// Panics if the length differs from the matrix dimension.
     pub fn solve_lower_in_place(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.n, "solve_lower: length mismatch");
+        pcv_trace::count("sparse.chol.tri_solves", 1);
         let (cp, ri, vv) = (self.l.colptr(), self.l.rowidx(), self.l.values());
         for j in 0..self.n {
             let xj = x[j] / vv[cp[j]];
@@ -245,6 +250,7 @@ impl SparseCholesky {
     /// Panics if the length differs from the matrix dimension.
     pub fn solve_lower_t_in_place(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.n, "solve_lower_t: length mismatch");
+        pcv_trace::count("sparse.chol.tri_solves", 1);
         let (cp, ri, vv) = (self.l.colptr(), self.l.rowidx(), self.l.values());
         for j in (0..self.n).rev() {
             let mut sum = x[j];

@@ -70,6 +70,9 @@ impl SparseLu {
         if a.nrows() != a.ncols() {
             return Err(Error::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
+        let _span = pcv_trace::span("sparse", "lu_factor");
+        pcv_trace::count("sparse.lu.factors", 1);
+        pcv_trace::value("sparse.lu.dim", a.ncols() as u64);
         let n = a.ncols();
         let mut lb = ColBuilder::new(n);
         let mut ub = ColBuilder::new(n);
@@ -254,6 +257,7 @@ impl SparseLu {
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "solve: length mismatch");
+        pcv_trace::count("sparse.lu.solves", 1);
         // x[pinv[r]] = b[r]  (apply row permutation)
         let mut x = vec![0.0; self.n];
         for (r, &br) in b.iter().enumerate() {

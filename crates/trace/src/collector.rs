@@ -1,0 +1,74 @@
+//! The [`Collector`] abstraction: where span and metric events go.
+//!
+//! Instrumentation sites throughout the workspace call the free functions
+//! in the crate root ([`crate::span`], [`crate::count`], [`crate::value`]);
+//! those dispatch to whichever collector is installed. With no collector —
+//! the default — every site reduces to one relaxed atomic load and an
+//! early return, which is what keeps always-compiled instrumentation
+//! essentially free in production runs.
+
+use std::time::Instant;
+
+/// One completed span, as handed to a [`Collector`].
+///
+/// Times are absolute [`Instant`]s; the collector anchors them to its own
+/// epoch, so records are meaningful regardless of when the collector was
+/// installed.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Category (crate or subsystem, e.g. `"xtalk"`).
+    pub cat: &'static str,
+    /// Span name (operation, e.g. `"prune"`).
+    pub name: &'static str,
+    /// Optional per-instance label (e.g. a victim net name). Only built
+    /// when a collector is installed.
+    pub label: Option<String>,
+    /// When the span opened.
+    pub start: Instant,
+    /// When the span guard dropped.
+    pub end: Instant,
+}
+
+/// A sink for structured trace events.
+///
+/// Implementations must be thread-safe: the engine records from every
+/// worker thread concurrently. The crate ships two implementations —
+/// [`NullCollector`] (discard everything) and
+/// [`crate::session::BufferCollector`] (per-thread buffers drained into a
+/// deterministic merged [`crate::Trace`]).
+pub trait Collector: Send + Sync {
+    /// Record one completed span.
+    fn record_span(&self, rec: SpanRecord);
+
+    /// Add `delta` to the named monotonic counter.
+    fn count(&self, name: &'static str, delta: u64);
+
+    /// Record one sample of the named distribution (histogram).
+    fn value(&self, name: &'static str, value: u64);
+}
+
+/// A collector that discards every event — the explicit form of "tracing
+/// disabled". Installing it is equivalent to installing nothing, but it
+/// lets code that *requires* a collector object hold one unconditionally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record_span(&self, _rec: SpanRecord) {}
+    fn count(&self, _name: &'static str, _delta: u64) {}
+    fn value(&self, _name: &'static str, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_collector_accepts_everything() {
+        let c = NullCollector;
+        let now = Instant::now();
+        c.record_span(SpanRecord { cat: "t", name: "x", label: None, start: now, end: now });
+        c.count("n", 3);
+        c.value("v", 17);
+    }
+}

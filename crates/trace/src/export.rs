@@ -1,0 +1,206 @@
+//! Trace exports: Chrome `trace_event` JSON (loadable in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev)) and a compact machine-readable
+//! summary.
+
+use crate::json;
+use crate::trace::Trace;
+use std::path::Path;
+
+/// Microseconds (Chrome's native unit) from nanoseconds, with sub-µs
+/// resolution preserved.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e3)
+}
+
+impl Trace {
+    /// Render the trace in Chrome `trace_event` JSON object format:
+    /// complete (`"ph":"X"`) events for spans, one counter (`"ph":"C"`)
+    /// sample per counter, and thread-name metadata. Load the result in
+    /// `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.spans.len() + 16));
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(&ev);
+        };
+        let threads: std::collections::BTreeSet<u32> = self.spans.iter().map(|s| s.tid).collect();
+        for tid in threads {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"worker-{tid}\"}}}}"
+                ),
+            );
+        }
+        for s in &self.spans {
+            let args = match &s.label {
+                Some(label) => format!(",\"args\":{{\"label\":{}}}", json::str_lit(label)),
+                None => String::new(),
+            };
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{}{args}}}",
+                    json::str_lit(s.name),
+                    json::str_lit(s.cat),
+                    us(s.start_ns),
+                    us(s.dur_ns),
+                    s.tid
+                ),
+            );
+        }
+        let end = us(self.end_ns());
+        for (name, total) in &self.counters {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":{n},\"ph\":\"C\",\"ts\":0,\"pid\":1,\
+                     \"args\":{{\"value\":0}}}}",
+                    n = json::str_lit(name)
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":{n},\"ph\":\"C\",\"ts\":{end},\"pid\":1,\
+                     \"args\":{{\"value\":{total}}}}}",
+                    n = json::str_lit(name)
+                ),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render a compact summary: counters, histogram statistics, and
+    /// summed cost per span kind. Keys are ordered, so the document is
+    /// deterministic up to timing values.
+    pub fn to_summary_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json::str_lit(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                json::str_lit(name),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                json::f64_lit(h.mean())
+            ));
+        }
+        out.push_str("},\"span_totals\":{");
+        for (i, ((cat, name), t)) in self.span_totals().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json::str_lit(&format!("{cat}/{name}")),
+                t.count,
+                t.total_ns
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write the Chrome trace next to `path` (exact path, not a sibling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+
+    /// Write the summary JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_summary(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_summary_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Histogram, Span};
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        t.spans.push(Span {
+            cat: "xtalk",
+            name: "prune",
+            label: Some("bus0_1".into()),
+            tid: 0,
+            start_ns: 1500,
+            dur_ns: 2500,
+        });
+        t.spans.push(Span {
+            cat: "mor",
+            name: "reduce",
+            label: None,
+            tid: 1,
+            start_ns: 4000,
+            dur_ns: 1000,
+        });
+        t.counters.insert("engine.cache.hit".into(), 7);
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(5);
+        t.histograms.insert("mor.order".into(), h);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let doc = sample().to_chrome_trace();
+        assert!(doc.starts_with("{\"displayTimeUnit\""));
+        assert!(doc.ends_with("]}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"ts\":1.500"));
+        assert!(doc.contains("\"dur\":2.500"));
+        assert!(doc.contains("\"label\":\"bus0_1\""));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        let braces = doc.matches('{').count();
+        assert_eq!(braces, doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn summary_has_all_three_sections() {
+        let doc = sample().to_summary_json();
+        assert!(doc.contains("\"counters\":{\"engine.cache.hit\":7}"));
+        assert!(
+            doc.contains("\"mor.order\":{\"count\":2,\"sum\":8,\"min\":3,\"max\":5,\"mean\":4.0}")
+        );
+        assert!(doc.contains("\"xtalk/prune\":{\"count\":1,\"total_ns\":2500}"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = Trace::default();
+        assert_eq!(t.to_chrome_trace(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        assert_eq!(t.to_summary_json(), "{\"counters\":{},\"histograms\":{},\"span_totals\":{}}");
+    }
+}

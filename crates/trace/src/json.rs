@@ -1,0 +1,71 @@
+//! Minimal JSON writing helpers — enough to emit valid trace and report
+//! documents without an external serializer.
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal for `s`.
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_str(&mut out, s);
+    out
+}
+
+/// A JSON number for a finite `f64`, or the exact bit pattern is lost —
+/// use [`f64_bits`] alongside when exactness matters. Non-finite values
+/// are encoded as strings (plain JSON has no NaN/Infinity).
+pub fn f64_lit(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        str_lit(&format!("{v}"))
+    }
+}
+
+/// The exact bit pattern of an `f64` as a hex string literal — the
+/// round-trippable form used by golden reports.
+pub fn f64_bits(v: f64) -> String {
+    format!("\"{:016x}\"", v.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(str_lit("plain"), "\"plain\"");
+        assert_eq!(str_lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(str_lit("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(str_lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_stay_numbers() {
+        assert_eq!(f64_lit(0.25), "0.25");
+        assert_eq!(f64_lit(3.0), "3.0");
+        assert_eq!(f64_lit(1e-15), "0.000000000000001");
+        assert_eq!(f64_lit(f64::INFINITY), "\"inf\"");
+        assert_eq!(f64_bits(1.0), "\"3ff0000000000000\"");
+    }
+}

@@ -1,0 +1,163 @@
+//! The merged output of a tracing session: spans, counters, histograms.
+
+use std::collections::BTreeMap;
+
+/// One completed span in the merged trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Category (crate or subsystem).
+    pub cat: &'static str,
+    /// Operation name.
+    pub name: &'static str,
+    /// Optional per-instance label (e.g. a net name).
+    pub label: Option<String>,
+    /// Recording thread (dense index in registration order).
+    pub tid: u32,
+    /// Start, nanoseconds since the session epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A power-of-two histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose bit length is `i` (bucket 0 holds the
+/// value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, …),
+/// so the full `u64` range fits in 65 fixed buckets with ~2x resolution —
+/// plenty for latency and size distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Power-of-two buckets, by sample bit length.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a sample: its bit length.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate cost of one `(category, name)` span kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanTotal {
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration across all of them (nanoseconds).
+    pub total_ns: u64,
+}
+
+/// The deterministic merged output of a tracing session.
+///
+/// Spans are ordered by `(start, thread, category, name, duration)`;
+/// counters and histograms live in ordered maps — so two sessions that
+/// record the same events (whatever the thread interleaving) produce
+/// traces that serialize identically modulo timing values.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed spans, deterministically ordered.
+    pub spans: Vec<Span>,
+    /// Monotonic counters, summed across threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Sample distributions, merged across threads.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Trace {
+    /// Summed span cost per `(category, name)` pair, ordered by key.
+    pub fn span_totals(&self) -> BTreeMap<(&'static str, &'static str), SpanTotal> {
+        let mut totals: BTreeMap<(&'static str, &'static str), SpanTotal> = BTreeMap::new();
+        for s in &self.spans {
+            let t = totals.entry((s.cat, s.name)).or_default();
+            t.count += 1;
+            t.total_ns += s.dur_ns;
+        }
+        totals
+    }
+
+    /// Total duration of the trace: the latest span end (ns since epoch).
+    pub fn end_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.start_ns + s.dur_ns).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_stats() {
+        let mut h = Histogram::default();
+        for v in [5u64, 10, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 116);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 29.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_kind() {
+        let mk = |name: &'static str, dur: u64| Span {
+            cat: "t",
+            name,
+            label: None,
+            tid: 0,
+            start_ns: 0,
+            dur_ns: dur,
+        };
+        let trace =
+            Trace { spans: vec![mk("a", 10), mk("b", 5), mk("a", 7)], ..Default::default() };
+        let totals = trace.span_totals();
+        assert_eq!(totals[&("t", "a")], SpanTotal { count: 2, total_ns: 17 });
+        assert_eq!(totals[&("t", "b")], SpanTotal { count: 1, total_ns: 5 });
+        assert_eq!(trace.end_ns(), 10);
+    }
+}

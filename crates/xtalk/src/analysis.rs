@@ -318,6 +318,11 @@ pub fn analyze_glitch(
     rising: bool,
     opts: &AnalysisOptions,
 ) -> Result<GlitchResult, XtalkError> {
+    let _span = if rising {
+        pcv_trace::span("xtalk", "glitch_rise")
+    } else {
+        pcv_trace::span("xtalk", "glitch_fall")
+    };
     let model = build_cluster(ctx.db, cluster, &|n| ctx.load_cap(n), false);
     let plans = plan_aggressors(ctx, cluster, opts);
     let mut roles = Vec::with_capacity(model.members.len());
@@ -366,6 +371,7 @@ pub fn analyze_delay(
     mode: DelayMode,
     opts: &AnalysisOptions,
 ) -> Result<DelayResult, XtalkError> {
+    let _span = pcv_trace::span("xtalk", "delay");
     let decouple = mode == DelayMode::Decoupled;
     let model = build_cluster(ctx.db, cluster, &|n| ctx.load_cap(n), decouple);
     let mut roles = Vec::with_capacity(model.members.len());

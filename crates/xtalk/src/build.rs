@@ -56,6 +56,8 @@ pub fn build_cluster(
     load_cap: &dyn Fn(PNetId) -> f64,
     ground_couplings: bool,
 ) -> ClusterModel {
+    let _span = pcv_trace::span("xtalk", "build_cluster");
+    pcv_trace::value("xtalk.cluster_nets", cluster.size() as u64);
     let members = cluster.members();
     let mut rc = RcCluster::new();
     let mut offsets = Vec::with_capacity(members.len());

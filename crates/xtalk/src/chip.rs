@@ -143,9 +143,12 @@ pub fn verify_chip(
     fail_frac: f64,
 ) -> Result<ChipReport, XtalkError> {
     assert!(warn_frac <= fail_frac, "warning threshold must not exceed failure");
+    let _span = pcv_trace::span("xtalk", "verify_chip");
     let mut verdicts = Vec::with_capacity(victims.len());
     let mut clusters: Vec<Cluster> = Vec::with_capacity(victims.len());
     for &vic in victims {
+        let _victim_span =
+            pcv_trace::span_labeled("xtalk", "victim", || ctx.db.net(vic).name().to_owned());
         let cluster = prune_victim(ctx.db, vic, prune_cfg);
         let (rise, fall) = if cluster.aggressors.is_empty() {
             (0.0, 0.0)
@@ -180,6 +183,63 @@ pub fn verify_chip(
 }
 
 impl ChipReport {
+    /// Render the audit as deterministic JSON.
+    ///
+    /// Every float appears twice: a readable decimal (`x`) and its exact
+    /// IEEE-754 bit pattern (`x_bits`), so a serialized report can be
+    /// compared byte-for-byte across runs, worker counts, and cache states
+    /// — the property the golden-report regression suite locks down.
+    pub fn to_json(&self) -> String {
+        use pcv_trace::json::{f64_bits, f64_lit, str_lit};
+        let float = |out: &mut String, key: &str, v: f64| {
+            out.push_str(&format!("\"{key}\":{},\"{key}_bits\":{}", f64_lit(v), f64_bits(v)));
+        };
+        let mut out = String::from("{");
+        float(&mut out, "warn_frac", self.warn_frac);
+        out.push(',');
+        float(&mut out, "fail_frac", self.fail_frac);
+        out.push_str(",\"pruning\":{");
+        float(&mut out, "mean_before", self.pruning.mean_before);
+        out.push(',');
+        float(&mut out, "mean_component", self.pruning.mean_component);
+        out.push(',');
+        float(&mut out, "mean_after", self.pruning.mean_after);
+        out.push_str(&format!(
+            ",\"max_after\":{},\"active_clusters\":{}}}",
+            self.pruning.max_after, self.pruning.active_clusters
+        ));
+        out.push_str(",\"verdicts\":[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"net\":{},\"name\":{},", v.net.0, str_lit(&v.name)));
+            float(&mut out, "rise_peak", v.rise_peak);
+            out.push(',');
+            float(&mut out, "fall_peak", v.fall_peak);
+            out.push(',');
+            float(&mut out, "worst_frac", v.worst_frac);
+            out.push_str(&format!(
+                ",\"severity\":{},\"cluster_size\":{},\"neighbors_before\":{}",
+                str_lit(&v.severity.to_string()),
+                v.cluster_size,
+                v.neighbors_before
+            ));
+            out.push_str(",\"receiver\":");
+            match &v.receiver {
+                Some(r) => {
+                    out.push_str(&format!("{{\"cell\":{},", str_lit(&r.cell)));
+                    float(&mut out, "output_peak", r.output_peak);
+                    out.push_str(&format!(",\"propagates\":{}}}", r.propagates));
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Render the audit as CSV (one row per victim, worst first) for
     /// downstream tooling.
     pub fn to_csv(&self) -> String {
@@ -231,6 +291,7 @@ pub fn audit_receivers(
     prune_cfg: &PruneConfig,
     opts: &AnalysisOptions,
 ) -> Result<(), XtalkError> {
+    let _span = pcv_trace::span("xtalk", "audit_receivers");
     let (Some(design), Some(lib)) = (ctx.design, ctx.lib) else {
         return Err(XtalkError::InvalidConfig {
             what: "receiver checks need design and library data",
@@ -427,6 +488,30 @@ mod tests {
         assert!(csv.starts_with("net,"));
         assert!(csv.contains("hot,"));
         assert!(csv.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_bit_exact() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let report = verify_chip(
+            &ctx,
+            &[cold, hot],
+            &PruneConfig::default(),
+            &AnalysisOptions::default(),
+            0.1,
+            0.2,
+        )
+        .unwrap();
+        let a = report.to_json();
+        assert_eq!(a, report.to_json());
+        assert!(a.contains("\"name\":\"hot\""));
+        assert!(a.contains("worst_frac_bits\":\""));
+        assert!(a.contains("\"receiver\":null"));
+        // The bits field round-trips the exact value.
+        let v = &report.verdicts[0];
+        let needle = format!("\"rise_peak_bits\":\"{:016x}\"", v.rise_peak.to_bits());
+        assert!(a.contains(&needle));
     }
 
     #[test]

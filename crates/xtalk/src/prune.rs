@@ -104,6 +104,7 @@ pub fn prune_victim_with_components(
     cfg: &PruneConfig,
     component_sizes: &[usize],
 ) -> Cluster {
+    let _span = pcv_trace::span("xtalk", "prune");
     let total = db.total_cap(victim).max(1e-30);
     let neighbors = db.neighbors(victim);
     let neighbors_before = neighbors.len();

@@ -50,6 +50,7 @@ pub fn check_receiver_propagation(
     vdd: f64,
     threshold_frac: f64,
 ) -> Result<ReceiverCheck, XtalkError> {
+    let _span = pcv_trace::span("xtalk", "receiver_check");
     if glitch.is_empty() {
         return Err(XtalkError::Measurement { what: "empty victim waveform" });
     }

@@ -20,6 +20,7 @@ fn main() -> Result<(), XtalkError> {
     let engine = Engine::new(EngineConfig {
         workers: 0, // one per core
         analysis: AnalysisOptions::default(),
+        trace: true,
         ..Default::default()
     });
 
@@ -47,7 +48,21 @@ fn main() -> Result<(), XtalkError> {
             0.20, // fail at 20% of Vdd
         )?;
         assert_eq!(report.chip, serial, "engine must match the serial reference");
-        println!("serial reference matches the engine report\n");
+        println!("serial reference matches the engine report");
+
+        // Drop the run's profile artifacts (Chrome trace + cost JSON) into
+        // target/ for inspection in chrome://tracing or Perfetto.
+        let stem = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("../../target/bus_audit_{length_um:.0}um"));
+        match report.write_profile(&stem) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("profile write failed: {e}"),
+        }
+        println!();
     }
     Ok(())
 }

@@ -58,17 +58,28 @@ fn main() -> Result<(), XtalkError> {
 
     // Parallel, cached sign-off run: one cluster job per victim on a
     // work-stealing pool, verdicts stored under topology fingerprints in
-    // target/ so an unchanged rerun skips every analysis.
+    // target/ so an unchanged rerun skips every analysis. Tracing is on,
+    // so the run also drops a Chrome trace + profile next to the cache.
     let cache =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/dsp_signoff.cache");
     let engine = Engine::new(EngineConfig {
         workers: 0, // one per core
-        cache_path: Some(cache),
+        cache_path: Some(cache.clone()),
+        trace: true,
         ..Default::default()
     });
     let report = engine.verify(&ctx, &victims)?;
 
     print!("{}", report.to_text());
+    if let Some(trace) = &report.trace {
+        println!(
+            "trace: {} spans, {} counters — open {}.trace.json in chrome://tracing or Perfetto",
+            trace.spans.len(),
+            trace.counters.len(),
+            cache.display()
+        );
+        println!("profile: {}.profile.json", cache.display());
+    }
     println!(
         "\n{} violations, {} total flagged — pruning kept clusters at {:.1} nets on average",
         report.chip.num_violations(),

@@ -1,0 +1,124 @@
+//! Determinism matrix: the engine's merged report must be byte-identical
+//! across worker counts {1, 2, 4, 8}, across cold vs. warm cache, and with
+//! tracing on vs. off — on the same fixtures the golden suite pins.
+//!
+//! Comparisons go through [`pcv_xtalk::ChipReport::to_json`], which embeds
+//! exact f64 bit patterns, so "identical" here means bit-for-bit.
+
+mod fixtures;
+
+use fixtures::{bundle_fixture, dsp_fixture, random_fixture};
+use pcv_engine::{Engine, EngineConfig};
+use pcv_xtalk::drivers::DriverModelKind;
+use pcv_xtalk::AnalysisContext;
+
+fn cache_file(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pcv-determinism-caches");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(tag)
+}
+
+#[test]
+fn bundle_report_is_identical_across_worker_counts() {
+    let (db, victims) = bundle_fixture();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let baseline = Engine::new(EngineConfig { workers: 1, ..Default::default() })
+        .verify(&ctx, &victims)
+        .unwrap()
+        .chip
+        .to_json();
+    for workers in [2usize, 4, 8] {
+        let report = Engine::new(EngineConfig { workers, ..Default::default() })
+            .verify(&ctx, &victims)
+            .unwrap();
+        assert!(report.errors.is_empty());
+        assert_eq!(report.chip.to_json(), baseline, "{workers}-worker run diverged");
+    }
+}
+
+#[test]
+fn random_cluster_report_is_identical_across_worker_counts() {
+    let (db, victims) = random_fixture();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let baseline = Engine::new(EngineConfig { workers: 1, ..Default::default() })
+        .verify(&ctx, &victims)
+        .unwrap()
+        .chip
+        .to_json();
+    for workers in [2usize, 4, 8] {
+        let report = Engine::new(EngineConfig { workers, ..Default::default() })
+            .verify(&ctx, &victims)
+            .unwrap();
+        assert_eq!(report.chip.to_json(), baseline, "{workers}-worker run diverged");
+    }
+}
+
+#[test]
+fn dsp_receiver_report_is_identical_across_worker_counts_and_cache_states() {
+    let (block, lib, victims) = dsp_fixture();
+    let ctx = AnalysisContext {
+        db: &block.parasitics,
+        design: Some(&block.design),
+        lib: Some(&lib),
+        charlib: None,
+        driver_model: DriverModelKind::FixedResistance(2000.0),
+    };
+    let config = |workers: usize| EngineConfig {
+        workers,
+        warn_frac: 0.02,
+        fail_frac: 0.05,
+        check_receivers: true,
+        ..Default::default()
+    };
+    let baseline = Engine::new(config(1)).verify(&ctx, &victims).unwrap().chip.to_json();
+    for workers in [2usize, 4, 8] {
+        let report = Engine::new(config(workers)).verify(&ctx, &victims).unwrap();
+        assert_eq!(report.chip.to_json(), baseline, "{workers}-worker run diverged");
+    }
+
+    // Cold vs. warm cache: cached verdicts replay bit-identically.
+    let path = cache_file("dsp-cold-warm");
+    let _ = std::fs::remove_file(&path);
+    let engine = Engine::new(EngineConfig { cache_path: Some(path.clone()), ..config(4) });
+    let cold = engine.verify(&ctx, &victims).unwrap();
+    assert_eq!(cold.stats.cache_misses, victims.len());
+    assert_eq!(cold.chip.to_json(), baseline);
+    let warm = engine.verify(&ctx, &victims).unwrap();
+    assert_eq!(warm.stats.cache_hits, victims.len());
+    assert_eq!(warm.chip.to_json(), baseline, "warm-cache run diverged");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traced_run_matches_untraced_and_emits_chrome_trace() {
+    let (db, victims) = bundle_fixture();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let plain = Engine::new(EngineConfig { workers: 4, ..Default::default() })
+        .verify(&ctx, &victims)
+        .unwrap();
+    assert!(plain.trace.is_none());
+
+    let traced = Engine::new(EngineConfig { workers: 4, trace: true, ..Default::default() })
+        .verify(&ctx, &victims)
+        .unwrap();
+    // Instrumentation must not perturb the numerics.
+    assert_eq!(traced.chip.to_json(), plain.chip.to_json(), "tracing changed the report");
+
+    let trace = traced.trace.as_ref().expect("traced run carries a trace");
+    assert!(trace.spans.iter().any(|s| s.name == "cluster_job"));
+    assert!(trace.spans.iter().any(|s| s.name == "sympvl_reduce"));
+    assert!(trace.counters.get("engine.cache.misses").copied() == Some(victims.len() as u64));
+    assert!(trace.counters.contains_key("sparse.chol.tri_solves"));
+    assert!(trace.counters.contains_key("sparse.chol.factors"));
+    let chrome = trace.to_chrome_trace();
+    assert!(chrome.starts_with("{\"displayTimeUnit\":"));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(chrome.contains("\"ph\":\"C\""));
+    assert!(chrome.ends_with("]}\n") || chrome.ends_with("]}"));
+
+    // Per-cluster cost breakdown covers every victim, most expensive first.
+    assert_eq!(traced.clusters.len(), victims.len());
+    for w in traced.clusters.windows(2) {
+        assert!(w[0].total() >= w[1].total());
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden-report regression suite: the full verification flow on three
+//! fixed-seed fixtures, compared byte-for-byte against checked-in JSON.
+//!
+//! The reports embed every float's exact IEEE-754 bit pattern
+//! ([`pcv_xtalk::ChipReport::to_json`]), so any numerical drift — an
+//! accidental reassociation, a changed solver tolerance, instrumentation
+//! perturbing the math — fails the suite even when the printed decimals
+//! round identically. Intentional changes are re-blessed with
+//! `BLESS=1 cargo test -p pcv-bench --test golden_reports`.
+
+mod fixtures;
+
+use fixtures::{bundle_fixture, check_golden, dsp_fixture, random_fixture};
+use pcv_xtalk::drivers::DriverModelKind;
+use pcv_xtalk::prune::PruneConfig;
+use pcv_xtalk::{audit_receivers, verify_chip, AnalysisContext, AnalysisOptions};
+
+#[test]
+fn golden_bundle_bus_report() {
+    let (db, victims) = bundle_fixture();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let report =
+        verify_chip(&ctx, &victims, &PruneConfig::default(), &AnalysisOptions::default(), 0.1, 0.2)
+            .unwrap();
+    check_golden("bundle16_bus.json", &report.to_json());
+}
+
+#[test]
+fn golden_random_cluster_report() {
+    let (db, victims) = random_fixture();
+    let ctx = AnalysisContext::fixed_resistance(&db, 1000.0);
+    let report =
+        verify_chip(&ctx, &victims, &PruneConfig::default(), &AnalysisOptions::default(), 0.1, 0.2)
+            .unwrap();
+    check_golden("random_seed99.json", &report.to_json());
+}
+
+#[test]
+fn golden_dsp_receiver_audit_report() {
+    let (block, lib, victims) = dsp_fixture();
+    let ctx = AnalysisContext {
+        db: &block.parasitics,
+        design: Some(&block.design),
+        lib: Some(&lib),
+        charlib: None,
+        driver_model: DriverModelKind::FixedResistance(2000.0),
+    };
+    let prune = PruneConfig::default();
+    let opts = AnalysisOptions::default();
+    // Low thresholds so receiver checks actually run on flagged victims.
+    let mut report = verify_chip(&ctx, &victims, &prune, &opts, 0.02, 0.05).unwrap();
+    audit_receivers(&ctx, &mut report, &prune, &opts).unwrap();
+    assert!(
+        report.verdicts.iter().any(|v| v.receiver.is_some()),
+        "fixture must exercise the receiver audit"
+    );
+    check_golden("dsp_receivers.json", &report.to_json());
+}
