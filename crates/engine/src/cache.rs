@@ -134,6 +134,12 @@ fn parse_line(line: &str) -> Option<(String, CacheEntry)> {
     let fingerprint = u64::from_str_radix(f.next()?, 16).ok()?;
     let rise_bits = u64::from_str_radix(f.next()?, 16).ok()?;
     let fall_bits = u64::from_str_radix(f.next()?, 16).ok()?;
+    // A bit pattern that parses but encodes NaN/∞ can only come from a
+    // corrupted store (the engine never caches non-finite peaks); treat it
+    // as a miss rather than let it poison a verdict.
+    if !f64::from_bits(rise_bits).is_finite() || !f64::from_bits(fall_bits).is_finite() {
+        return None;
+    }
     let cell = f.next()?;
     let peak = f.next()?;
     let prop = f.next()?;
@@ -142,15 +148,21 @@ fn parse_line(line: &str) -> Option<(String, CacheEntry)> {
     }
     let receiver = match (cell, peak, prop) {
         ("-", "-", "-") => None,
-        _ => Some(CachedReceiver {
-            cell: cell.to_owned(),
-            output_peak_bits: u64::from_str_radix(peak, 16).ok()?,
-            propagates: match prop {
-                "1" => true,
-                "0" => false,
-                _ => return None,
-            },
-        }),
+        _ => {
+            let output_peak_bits = u64::from_str_radix(peak, 16).ok()?;
+            if !f64::from_bits(output_peak_bits).is_finite() {
+                return None;
+            }
+            Some(CachedReceiver {
+                cell: cell.to_owned(),
+                output_peak_bits,
+                propagates: match prop {
+                    "1" => true,
+                    "0" => false,
+                    _ => return None,
+                },
+            })
+        }
     };
     Some((name.to_owned(), CacheEntry { fingerprint, rise_bits, fall_bits, receiver }))
 }
@@ -226,6 +238,31 @@ mod tests {
         let c = ResultCache::load(&path);
         assert_eq!(c.len(), 1);
         assert!(c.lookup("w1", 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_finite_bit_patterns_are_misses() {
+        let nan = f64::NAN.to_bits();
+        let inf = f64::INFINITY.to_bits();
+        let fin = 0.25_f64.to_bits();
+        let text = format!(
+            "{HEADER}\n\
+             w1\t1\t{nan:016x}\t{fin:016x}\t-\t-\t-\n\
+             w2\t1\t{fin:016x}\t{inf:016x}\t-\t-\t-\n\
+             w3\t1\t{fin:016x}\t{fin:016x}\tINVX1\t{nan:016x}\t1\n\
+             w4\t1\t{fin:016x}\t{fin:016x}\t-\t-\t-\n"
+        );
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-nonfinite");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        std::fs::write(&path, text).unwrap();
+        let c = ResultCache::load(&path);
+        assert_eq!(c.len(), 1, "only the all-finite entry survives");
+        assert!(c.lookup("w4", 1).is_some());
+        for poisoned in ["w1", "w2", "w3"] {
+            assert!(c.lookup(poisoned, 1).is_none(), "{poisoned} must be a miss");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,18 +3,23 @@
 
 use crate::cache::{CacheEntry, CachedReceiver, ResultCache};
 use crate::fingerprint::{cluster_fingerprint, config_hash};
+use crate::recovery::{
+    route, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
+};
 use crate::report::{ClusterCost, EngineError, EngineReport, EngineStats};
 use crate::scheduler;
 use pcv_cells::library::CellKind;
+use pcv_mor::{CancelToken, MorError};
 use pcv_netlist::PNetId;
+use pcv_xtalk::drivers::DriverModelKind;
 use pcv_xtalk::prune::{
     coupling_component_sizes, prune_victim_with_components, Cluster, PruneConfig, PruningStats,
 };
 use pcv_xtalk::{
     analyze_glitch, check_receiver_propagation, AnalysisContext, AnalysisOptions, ChipReport,
-    GlitchResult, NetVerdict, ReceiverVerdict, Severity, XtalkError,
+    EngineKind, GlitchResult, NetVerdict, ReceiverVerdict, Severity, XtalkError,
 };
-use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -43,6 +48,9 @@ pub struct EngineConfig {
     /// the cache. Off by default — instrumentation then costs one relaxed
     /// atomic load per site.
     pub trace: bool,
+    /// Recovery-ladder knobs ([`RecoveryConfig`]): how failed cluster jobs
+    /// are retried and degraded instead of dropped.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +64,7 @@ impl Default for EngineConfig {
             check_receivers: false,
             cache_path: None,
             trace: false,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -71,7 +80,7 @@ impl Default for EngineConfig {
 pub struct Engine {
     /// Configuration used by [`Engine::verify`].
     pub config: EngineConfig,
-    faults: HashSet<String>,
+    plan: FaultPlan,
 }
 
 /// Outcome of one successful cluster job.
@@ -80,9 +89,19 @@ struct JobOk {
     cluster: Cluster,
     cached: bool,
     entry: Option<CacheEntry>,
+    degradation: Option<Degradation>,
     prune: Duration,
     analysis: Duration,
     receiver: Duration,
+}
+
+/// Outcome of one ladder attempt (a full analysis at one rung).
+struct AttemptOk {
+    rise: f64,
+    fall: f64,
+    receiver: Option<ReceiverVerdict>,
+    analysis: Duration,
+    receiver_time: Duration,
 }
 
 /// Classify peaks against the noise-margin thresholds (serial rule).
@@ -98,17 +117,88 @@ fn classify(rise: f64, fall: f64, vdd: f64, warn: f64, fail: f64) -> (f64, Sever
     (worst_frac, severity)
 }
 
+/// Analysis options for one ladder rung. Adjustments are *cumulative*: each
+/// higher rung keeps every lower rung's mitigation, so the walk is a pure
+/// function of the rung (not of the failure path that led there).
+fn rung_options(cfg: &EngineConfig, rung: RecoveryRung) -> AnalysisOptions {
+    let rec = &cfg.recovery;
+    let mut opts = cfg.analysis.clone();
+    // Stall protection applies at every rung, baseline included. The
+    // budget checks are read-only until they trip, so they cannot perturb
+    // a healthy run's numbers.
+    opts.mor.newton_budget = opts.mor.newton_budget.min(rec.newton_budget);
+    opts.mor.max_tran_steps = opts.mor.max_tran_steps.min(rec.max_tran_steps);
+    if let Some(budget) = rec.deadline {
+        opts.mor.cancel = Some(CancelToken::with_deadline(budget));
+    }
+    if rung >= RecoveryRung::GminBoost {
+        opts.gmin_scale *= rec.gmin_boost;
+    }
+    if rung >= RecoveryRung::ReducedOrder {
+        if let EngineKind::Mor { block_iters } = opts.engine {
+            opts.engine = EngineKind::Mor { block_iters: (block_iters / 2).max(1) };
+        }
+    }
+    if rung >= RecoveryRung::SofterNewton {
+        opts.mor.max_step_fraction *= rec.step_shrink;
+    }
+    if rung >= RecoveryRung::SpiceFallback {
+        opts.engine = EngineKind::Spice;
+    }
+    opts
+}
+
+/// Context for one ladder rung: from [`RecoveryRung::SofterNewton`] up,
+/// nonlinear driver surfaces are swapped for the smooth Thevenin
+/// (timing-library) model, which cannot trap Newton in a kink limit cycle.
+fn rung_context<'a>(ctx: &AnalysisContext<'a>, rung: RecoveryRung) -> AnalysisContext<'a> {
+    let mut adjusted = *ctx;
+    if rung >= RecoveryRung::SofterNewton && adjusted.driver_model == DriverModelKind::Nonlinear {
+        adjusted.driver_model = DriverModelKind::TimingLibrary;
+    }
+    adjusted
+}
+
+/// Realize one injected fault for one ladder attempt. `Panic` unwinds like
+/// a real job bug; `NonSpd` and `NaN` return the exact typed errors the
+/// numeric guards produce (so routing is exercised end-to-end without
+/// machine-dependent arithmetic); `Slow` collapses the Newton budget so the
+/// *real* budget mechanism trips.
+fn inject(kind: FaultKind, name: &str, opts: &mut AnalysisOptions) -> Result<(), XtalkError> {
+    match kind {
+        FaultKind::Panic => panic!("injected fault in cluster job for {name}"),
+        FaultKind::NonSpd => {
+            Err(XtalkError::Mor(MorError::Numeric(pcv_sparse::Error::NotPositiveDefinite {
+                col: 0,
+                pivot: -1.0,
+            })))
+        }
+        FaultKind::NaN => Err(XtalkError::Mor(MorError::NonFinite { what: "injected nan fault" })),
+        FaultKind::Slow => {
+            opts.mor.newton_budget = 1;
+            Ok(())
+        }
+    }
+}
+
 impl Engine {
     /// Engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config, faults: HashSet::new() }
+        Engine { config, plan: FaultPlan::new() }
     }
 
-    /// Chaos hook: make the cluster job for the named victim panic. The
-    /// fault-isolation drill — used by tests and operators to confirm one
-    /// bad cluster cannot take down a chip audit.
+    /// Chaos hook: make every ladder attempt for the named victim panic
+    /// (a persistent [`FaultKind::Panic`]). The fault-isolation drill —
+    /// used by tests and operators to confirm one bad cluster cannot take
+    /// down a chip audit. Shorthand for [`Engine::set_fault_plan`].
     pub fn inject_fault(&mut self, net_name: impl Into<String>) {
-        self.faults.insert(net_name.into());
+        self.plan.inject(net_name, FaultSpec { kind: FaultKind::Panic, persistent: true });
+    }
+
+    /// Install a deterministic fault-injection plan (replacing any previous
+    /// one). See [`FaultPlan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
     }
 
     /// Audit `victims`: prune, analyze and classify each one as a parallel
@@ -173,7 +263,6 @@ impl Engine {
             let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, &component_sizes);
             let prune = t.elapsed();
             let name = ctx.db.net(vic).name().to_owned();
-            assert!(!self.faults.contains(&name), "injected fault in cluster job for {name}");
 
             let fp = cluster_fingerprint(ctx, &cluster, chash);
             if let Some(e) = cache.lookup(&name, fp) {
@@ -203,6 +292,7 @@ impl Engine {
                     cluster,
                     cached: true,
                     entry: None,
+                    degradation: None,
                     prune,
                     analysis: Duration::ZERO,
                     receiver: Duration::ZERO,
@@ -210,58 +300,87 @@ impl Engine {
             }
             pcv_trace::count("engine.cache.misses", 1);
 
-            let t = Instant::now();
-            let (rise, fall, worse) = if cluster.aggressors.is_empty() {
-                (0.0, 0.0, None)
-            } else {
-                let up = analyze_glitch(ctx, &cluster, true, &cfg.analysis)?;
-                let down = analyze_glitch(ctx, &cluster, false, &cfg.analysis)?;
-                let (rise, fall) = (up.peak, down.peak);
-                let worse = if rise.abs() >= fall.abs() { up } else { down };
-                (rise, fall, Some(worse))
+            let fault = self.plan.fault_for(&name);
+
+            if !cfg.recovery.enabled {
+                // Legacy fail-open path: one attempt, errors surface as
+                // EngineError records with no verdict.
+                let mut opts = rung_options(cfg, RecoveryRung::Baseline);
+                if let Some(spec) = fault {
+                    inject(spec.kind, &name, &mut opts)?;
+                }
+                let ok = self.run_attempt(ctx, &cluster, &name, &opts)?;
+                return Ok(self.assemble(vic, cluster, &name, fp, ok, None, prune));
+            }
+
+            // The recovery ladder: walk rungs until an attempt succeeds;
+            // the WorstCase rung always succeeds, so every victim ends
+            // with a verdict.
+            let mut attempts: Vec<(RecoveryRung, String)> = Vec::new();
+            let mut rung = RecoveryRung::Baseline;
+            let (ok, recovered) = loop {
+                if rung == RecoveryRung::WorstCase {
+                    pcv_trace::count("engine.recovery.worst_case", 1);
+                    let vdd = cfg.analysis.vdd;
+                    break (
+                        AttemptOk {
+                            rise: vdd,
+                            fall: -vdd,
+                            receiver: None,
+                            analysis: Duration::ZERO,
+                            receiver_time: Duration::ZERO,
+                        },
+                        RecoveryRung::WorstCase,
+                    );
+                }
+                if rung > RecoveryRung::Baseline {
+                    pcv_trace::count("engine.recovery.retries", 1);
+                }
+                let mut opts = rung_options(cfg, rung);
+                let actx = rung_context(ctx, rung);
+                // Non-persistent faults fire at the baseline attempt only,
+                // so the first retry rung sees a healthy cluster.
+                let inject_here = fault
+                    .filter(|spec| spec.persistent || rung == RecoveryRung::Baseline)
+                    .map(|spec| spec.kind);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(kind) = inject_here {
+                        inject(kind, &name, &mut opts)?;
+                    }
+                    self.run_attempt(&actx, &cluster, &name, &opts)
+                }));
+                match outcome {
+                    Ok(Ok(ok)) => break (ok, rung),
+                    Ok(Err(err)) => {
+                        if matches!(&err, XtalkError::Mor(MorError::Cancelled { .. })) {
+                            pcv_trace::count("engine.recovery.deadline_hits", 1);
+                        }
+                        if matches!(&err, XtalkError::Mor(MorError::BudgetExhausted { .. })) {
+                            pcv_trace::count("engine.recovery.budget_exhausted", 1);
+                        }
+                        let target = route(&err);
+                        let next = rung.next().expect("worst case breaks the loop");
+                        attempts.push((rung, err.to_string()));
+                        rung = next.max(target);
+                    }
+                    Err(payload) => {
+                        let message = scheduler::panic_message(payload);
+                        attempts.push((rung, format!("job panicked: {message}")));
+                        // A panic carries no typed routing information;
+                        // skip the MOR-tuning rungs entirely.
+                        let next = rung.next().expect("worst case breaks the loop");
+                        rung = next.max(RecoveryRung::SpiceFallback);
+                    }
+                }
             };
-            let analysis = t.elapsed();
-            let (worst_frac, severity) =
-                classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
-            let mut receiver_time = Duration::ZERO;
-            let receiver = if cfg.check_receivers && severity >= Severity::Warning {
-                let t = Instant::now();
-                let r = self.receiver_check(ctx, &cluster, &name, rise, fall, worse)?;
-                receiver_time = t.elapsed();
-                Some(r)
-            } else {
-                None
-            };
-            let entry = CacheEntry {
-                fingerprint: fp,
-                rise_bits: rise.to_bits(),
-                fall_bits: fall.to_bits(),
-                receiver: receiver.as_ref().map(|r| CachedReceiver {
-                    cell: r.cell.clone(),
-                    output_peak_bits: r.output_peak.to_bits(),
-                    propagates: r.propagates,
-                }),
-            };
-            let verdict = NetVerdict {
-                net: vic,
-                name,
-                rise_peak: rise,
-                fall_peak: fall,
-                worst_frac,
-                severity,
-                cluster_size: cluster.size(),
-                neighbors_before: cluster.neighbors_before,
-                receiver,
-            };
-            Ok(JobOk {
-                verdict,
-                cluster,
-                cached: false,
-                entry: Some(entry),
-                prune,
-                analysis,
-                receiver: receiver_time,
-            })
+            let degradation = (recovered != RecoveryRung::Baseline).then(|| {
+                pcv_trace::count("engine.recovery.degraded", 1);
+                if recovered == RecoveryRung::SpiceFallback {
+                    pcv_trace::count("engine.recovery.fallback_spice", 1);
+                }
+                Degradation { net: vic, name: name.clone(), attempts, recovered }
+            });
+            Ok(self.assemble(vic, cluster, &name, fp, ok, degradation, prune))
         };
 
         let (results, run_stats) = scheduler::run(workers, victims.len(), job);
@@ -274,6 +393,7 @@ impl Engine {
         let mut clusters = Vec::with_capacity(victims.len());
         let mut costs: Vec<ClusterCost> = Vec::with_capacity(victims.len());
         let mut errors = Vec::new();
+        let mut degradations: Vec<Degradation> = Vec::new();
         let mut fresh: Vec<(String, CacheEntry)> = Vec::new();
         let (mut hits, mut misses) = (0usize, 0usize);
         let (mut prune_total, mut analysis_total, mut receiver_total) =
@@ -297,6 +417,24 @@ impl Engine {
                     prune_total += ok.prune;
                     analysis_total += ok.analysis;
                     receiver_total += ok.receiver;
+                    if let Some(d) = ok.degradation {
+                        // A worst-cased cluster also surfaces as a
+                        // structured error record: the last attempt names
+                        // the stage and reason the analysis gave up on.
+                        if d.recovered == RecoveryRung::WorstCase {
+                            let (stage, message) = match d.attempts.last() {
+                                Some((rung, reason)) => (rung.name().to_owned(), reason.clone()),
+                                None => ("baseline".to_owned(), "no attempt recorded".to_owned()),
+                            };
+                            errors.push(EngineError {
+                                net: d.net,
+                                name: d.name.clone(),
+                                stage,
+                                message,
+                            });
+                        }
+                        degradations.push(d);
+                    }
                     costs.push(ClusterCost {
                         net: ok.verdict.net,
                         name: ok.verdict.name.clone(),
@@ -312,6 +450,7 @@ impl Engine {
                 Err(message) => errors.push(EngineError {
                     net: victims[i],
                     name: ctx.db.net(victims[i]).name().to_owned(),
+                    stage: "baseline".to_owned(),
                     message,
                 }),
             }
@@ -336,6 +475,7 @@ impl Engine {
             victims: victims.len(),
             cache_hits: hits,
             cache_misses: misses,
+            degraded: degradations.len(),
             prune_time: prune_total,
             analysis_time: analysis_total,
             receiver_time: receiver_total,
@@ -352,6 +492,7 @@ impl Engine {
                 fail_frac: cfg.fail_frac,
             },
             errors,
+            degradations,
             stats,
             clusters: costs,
             trace,
@@ -366,10 +507,97 @@ impl Engine {
         Ok(report)
     }
 
+    /// One full analysis at one ladder rung: both glitch polarities, then
+    /// the receiver check when the verdict is severe enough. `opts` carries
+    /// the rung's (possibly adjusted) analysis options.
+    fn run_attempt(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        cluster: &Cluster,
+        name: &str,
+        opts: &AnalysisOptions,
+    ) -> Result<AttemptOk, XtalkError> {
+        let cfg = &self.config;
+        let t = Instant::now();
+        let (rise, fall, worse) = if cluster.aggressors.is_empty() {
+            (0.0, 0.0, None)
+        } else {
+            let up = analyze_glitch(ctx, cluster, true, opts)?;
+            let down = analyze_glitch(ctx, cluster, false, opts)?;
+            let (rise, fall) = (up.peak, down.peak);
+            let worse = if rise.abs() >= fall.abs() { up } else { down };
+            (rise, fall, Some(worse))
+        };
+        let analysis = t.elapsed();
+        let (_, severity) = classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+        let mut receiver_time = Duration::ZERO;
+        let receiver = if cfg.check_receivers && severity >= Severity::Warning {
+            let t = Instant::now();
+            let r = self.receiver_check(ctx, cluster, name, rise, fall, worse, opts)?;
+            receiver_time = t.elapsed();
+            Some(r)
+        } else {
+            None
+        };
+        Ok(AttemptOk { rise, fall, receiver, analysis, receiver_time })
+    }
+
+    /// Turn a standing attempt into the job outcome: classify, build the
+    /// verdict, and decide cacheability. Degraded results are **not**
+    /// cached — a recovered verdict must be recomputed next run, otherwise
+    /// cold and warm reports would diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        vic: PNetId,
+        cluster: Cluster,
+        name: &str,
+        fp: u64,
+        ok: AttemptOk,
+        degradation: Option<Degradation>,
+        prune: Duration,
+    ) -> JobOk {
+        let cfg = &self.config;
+        let (worst_frac, severity) =
+            classify(ok.rise, ok.fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+        let entry = degradation.is_none().then(|| CacheEntry {
+            fingerprint: fp,
+            rise_bits: ok.rise.to_bits(),
+            fall_bits: ok.fall.to_bits(),
+            receiver: ok.receiver.as_ref().map(|r| CachedReceiver {
+                cell: r.cell.clone(),
+                output_peak_bits: r.output_peak.to_bits(),
+                propagates: r.propagates,
+            }),
+        });
+        let verdict = NetVerdict {
+            net: vic,
+            name: name.to_owned(),
+            rise_peak: ok.rise,
+            fall_peak: ok.fall,
+            worst_frac,
+            severity,
+            cluster_size: cluster.size(),
+            neighbors_before: cluster.neighbors_before,
+            receiver: ok.receiver,
+        };
+        JobOk {
+            verdict,
+            cluster,
+            cached: false,
+            entry,
+            degradation,
+            prune,
+            analysis: ok.analysis,
+            receiver: ok.receiver_time,
+        }
+    }
+
     /// In-job receiver check: the serial [`pcv_xtalk::audit_receivers`]
     /// rule, reusing the worse-polarity waveform already computed instead
     /// of re-running the analysis (deterministic, so the result is
     /// identical).
+    #[allow(clippy::too_many_arguments)]
     fn receiver_check(
         &self,
         ctx: &AnalysisContext<'_>,
@@ -378,6 +606,7 @@ impl Engine {
         rise: f64,
         fall: f64,
         worse: Option<GlitchResult>,
+        opts: &AnalysisOptions,
     ) -> Result<ReceiverVerdict, XtalkError> {
         let (Some(design), Some(lib)) = (ctx.design, ctx.lib) else {
             return Err(XtalkError::InvalidConfig {
@@ -400,7 +629,7 @@ impl Engine {
             Some(g) => g,
             // Only reachable for an aggressor-less victim flagged by a
             // zero warning threshold.
-            None => analyze_glitch(ctx, cluster, rising, &self.config.analysis)?,
+            None => analyze_glitch(ctx, cluster, rising, opts)?,
         };
         let quiet = if rising { 0.0 } else { self.config.analysis.vdd };
         let check = check_receiver_propagation(
@@ -474,18 +703,127 @@ mod tests {
     }
 
     #[test]
-    fn injected_fault_is_isolated() {
+    fn injected_fault_is_isolated_and_worst_cased() {
         let (db, hot, cold) = db();
         let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
         let mut engine = Engine::new(config(2));
         engine.inject_fault("hot");
         let report = engine.verify(&ctx, &[cold, hot]).unwrap();
+        // A persistent panic defeats every analysis rung, so the victim is
+        // worst-cased: a conservative verdict plus a structured error.
         assert_eq!(report.errors.len(), 1);
         assert_eq!(report.errors[0].name, "hot");
+        assert_eq!(report.errors[0].stage, "spice_fallback");
         assert!(report.errors[0].message.contains("injected fault"));
-        // The other victim is still fully audited.
+        assert_eq!(report.chip.verdicts.len(), 2);
+        let worst = report.chip.verdicts.iter().find(|v| v.name == "hot").unwrap();
+        assert_eq!(worst.worst_frac, 1.0);
+        assert_eq!(worst.severity, Severity::Violation);
+        assert_eq!(report.degradations.len(), 1);
+        let d = &report.degradations[0];
+        assert_eq!(d.name, "hot");
+        assert_eq!(d.recovered, RecoveryRung::WorstCase);
+        // Panics skip the MOR-tuning rungs: baseline, then SPICE, then out.
+        let rungs: Vec<RecoveryRung> = d.attempts.iter().map(|&(r, _)| r).collect();
+        assert_eq!(rungs, [RecoveryRung::Baseline, RecoveryRung::SpiceFallback]);
+        assert_eq!(report.stats.degraded, 1);
+        // The other victim is still fully audited, untouched by recovery.
+        let cold_v = report.chip.verdicts.iter().find(|v| v.name == "cold").unwrap();
+        assert!(cold_v.worst_frac < 1.0);
+    }
+
+    #[test]
+    fn disabled_ladder_keeps_fail_open_behavior() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let mut cfg = config(2);
+        cfg.recovery.enabled = false;
+        let mut engine = Engine::new(cfg);
+        engine.inject_fault("hot");
+        let report = engine.verify(&ctx, &[cold, hot]).unwrap();
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].name, "hot");
+        assert_eq!(report.errors[0].stage, "baseline");
+        assert!(report.errors[0].message.contains("injected fault"));
+        // Fail-open: the faulted victim has no verdict at all.
         assert_eq!(report.chip.verdicts.len(), 1);
         assert_eq!(report.chip.verdicts[0].name, "cold");
+        assert!(report.degradations.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_recovers_on_first_retry() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let victims = [cold, hot];
+        let clean = Engine::new(config(1)).verify(&ctx, &victims).unwrap();
+
+        let mut engine = Engine::new(config(2));
+        let mut plan = FaultPlan::new();
+        plan.inject_named("hot", FaultKind::NonSpd);
+        engine.set_fault_plan(plan);
+        let report = engine.verify(&ctx, &victims).unwrap();
+        // The non-SPD fault routes to GminBoost; the retry sees a healthy
+        // cluster and succeeds there.
+        assert!(report.errors.is_empty());
+        assert_eq!(report.degradations.len(), 1);
+        let d = &report.degradations[0];
+        assert_eq!(d.recovered, RecoveryRung::GminBoost);
+        assert_eq!(d.attempts.len(), 1);
+        assert!(d.attempts[0].1.contains("positive definite"));
+        // Every victim has a verdict; the unfaulted one is bit-identical
+        // to the clean run.
+        assert_eq!(report.chip.verdicts.len(), 2);
+        let cold_clean = clean.chip.verdicts.iter().find(|v| v.name == "cold").unwrap();
+        let cold_faulted = report.chip.verdicts.iter().find(|v| v.name == "cold").unwrap();
+        assert_eq!(cold_clean, cold_faulted);
+    }
+
+    #[test]
+    fn slow_fault_trips_budget_and_falls_back_to_spice() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let mut engine = Engine::new(config(2));
+        let mut plan = FaultPlan::new();
+        plan.inject("hot", FaultSpec { kind: FaultKind::Slow, persistent: true });
+        engine.set_fault_plan(plan);
+        let report = engine.verify(&ctx, &[cold, hot]).unwrap();
+        // The collapsed Newton budget defeats every MOR rung; the SPICE
+        // fallback does not consult the MOR budget and succeeds.
+        assert!(report.errors.is_empty());
+        assert_eq!(report.degradations.len(), 1);
+        let d = &report.degradations[0];
+        assert_eq!(d.recovered, RecoveryRung::SpiceFallback);
+        assert!(d.attempts.iter().all(|(_, reason)| reason.contains("budget exhausted")));
+        let hot_v = report.chip.verdicts.iter().find(|v| v.name == "hot").unwrap();
+        assert!(hot_v.worst_frac < 1.0, "a real analysis stood, not the worst case");
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let (db, hot, cold) = db();
+        let ctx = AnalysisContext::fixed_resistance(&db, 2000.0);
+        let dir = std::env::temp_dir().join("pcv-engine-degraded-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        std::fs::remove_file(&path).ok();
+
+        let mut cfg = config(1);
+        cfg.cache_path = Some(path.clone());
+        let mut engine = Engine::new(cfg.clone());
+        let mut plan = FaultPlan::new();
+        plan.inject_named("hot", FaultKind::NaN);
+        engine.set_fault_plan(plan);
+        let faulted = engine.verify(&ctx, &[cold, hot]).unwrap();
+        assert_eq!(faulted.degradations.len(), 1);
+
+        // A clean re-run must re-analyze the degraded victim (cache miss)
+        // and produce the baseline verdict.
+        let clean = Engine::new(cfg).verify(&ctx, &[cold, hot]).unwrap();
+        assert_eq!(clean.stats.cache_hits, 1, "only the healthy victim was cached");
+        assert_eq!(clean.stats.cache_misses, 1);
+        assert!(clean.degradations.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

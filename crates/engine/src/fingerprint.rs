@@ -86,9 +86,10 @@ pub fn config_hash(
     use pcv_xtalk::drivers::DriverModelKind;
     use pcv_xtalk::EngineKind;
     let mut h = Fnv1a::new();
-    // v2: element lists are canonicalized before hashing (insertion-order
-    // independent fingerprints). Bumping the tag invalidates v1 caches.
-    h.write_str("pcv-engine config v2");
+    // v3: gmin scaling and the MOR solver knobs entered the options and
+    // can change a verdict bit-for-bit, so they enter the hash. Bumping
+    // the tag invalidates caches written by earlier layouts.
+    h.write_str("pcv-engine config v3");
     h.write_f64(prune.cap_ratio);
     h.write_usize(prune.max_aggressors);
     match opts.engine {
@@ -102,6 +103,14 @@ pub fn config_hash(
     h.write_f64(opts.switch_time);
     h.write_f64(opts.input_slew);
     h.write_f64(opts.vdd);
+    h.write_f64(opts.gmin_scale);
+    h.write_f64(opts.mor.max_step_fraction);
+    h.write_f64(opts.mor.vtol);
+    h.write_f64(opts.mor.damping);
+    h.write_usize(opts.mor.max_newton);
+    h.write_f64(opts.mor.min_step);
+    h.write_usize(opts.mor.newton_budget);
+    h.write_usize(opts.mor.max_tran_steps);
     h.write_f64(warn_frac);
     h.write_f64(fail_frac);
     h.write_u64(check_receivers as u64);

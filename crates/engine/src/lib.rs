@@ -19,6 +19,12 @@
 //! - **Fault isolation** — each job runs under `catch_unwind`; a
 //!   panicking or erroring cluster becomes an [`EngineError`] record while
 //!   every other victim is still fully audited.
+//! - **Graceful degradation** ([`recovery`]) — failed cluster jobs walk a
+//!   typed recovery ladder (boosted `gmin`, smaller Krylov space, softer
+//!   Newton, SPICE fallback, conservative worst-case) so every victim ends
+//!   with a verdict; the trail lands in [`EngineReport::degradations`].
+//!   Deterministic fault injection ([`recovery::FaultPlan`]) drills the
+//!   ladder in tests and chaos runs.
 //! - **Incrementality** ([`cache`], [`fingerprint`]) — each cluster's
 //!   verdict is stored under a fingerprint of its topology, couplings,
 //!   drivers and analysis options. Re-runs skip unchanged clusters;
@@ -63,10 +69,12 @@
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod recovery;
 pub mod report;
 pub mod scheduler;
 
 pub use cache::{CacheEntry, CachedReceiver, ResultCache};
 pub use engine::{Engine, EngineConfig};
 pub use fingerprint::{cluster_fingerprint, config_hash, Fnv1a};
+pub use recovery::{Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung};
 pub use report::{ClusterCost, EngineError, EngineReport, EngineStats};

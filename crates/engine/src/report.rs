@@ -1,6 +1,7 @@
 //! Engine run reports: the serial [`ChipReport`] plus fault records and
 //! execution statistics.
 
+use crate::recovery::Degradation;
 use pcv_netlist::PNetId;
 use pcv_trace::json::{f64_lit, str_lit};
 use pcv_trace::Trace;
@@ -10,20 +11,25 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// A cluster job that failed — by returning an analysis error or by
-/// panicking — without taking the rest of the audit down.
+/// panicking — without taking the rest of the audit down. Joinable with
+/// [`Degradation`] records through `net`/`name`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineError {
     /// The victim whose job failed.
     pub net: PNetId,
     /// Victim net name.
     pub name: String,
+    /// Recovery-ladder rung (stable lower-case name, e.g.
+    /// `"spice_fallback"`) at which the failure stood — `"baseline"` when
+    /// the ladder is disabled.
+    pub stage: String,
     /// Error or panic message.
     pub message: String,
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.name, self.message)
+        write!(f, "{} [{}]: {}", self.name, self.stage, self.message)
     }
 }
 
@@ -65,6 +71,8 @@ pub struct EngineStats {
     pub cache_hits: usize,
     /// Jobs that ran the full analysis.
     pub cache_misses: usize,
+    /// Jobs whose verdict came from a recovery rung above baseline.
+    pub degraded: usize,
     /// Summed time in pruning across all workers.
     pub prune_time: Duration,
     /// Summed time in glitch analysis across all workers.
@@ -119,8 +127,13 @@ pub struct EngineReport {
     /// byte-identical to the serial [`pcv_xtalk::verify_chip`] report when
     /// no job failed.
     pub chip: ChipReport,
-    /// Victims whose jobs failed (error or panic), in input order.
+    /// Victims whose jobs failed (error or panic), in input order. With the
+    /// recovery ladder enabled these are exactly the worst-cased victims —
+    /// every one of them still has a (conservative) verdict in `chip`.
     pub errors: Vec<EngineError>,
+    /// Victims whose verdict came from a recovery rung above baseline, in
+    /// input order: the full attempt trail and the rung that stood.
+    pub degradations: Vec<Degradation>,
     /// Execution statistics.
     pub stats: EngineStats,
     /// Per-cluster cost breakdown, most expensive first.
@@ -138,6 +151,12 @@ impl EngineReport {
             out.push_str(&format!("{} failed cluster job(s):\n", self.errors.len()));
             for e in &self.errors {
                 out.push_str(&format!("  {e}\n"));
+            }
+        }
+        if !self.degradations.is_empty() {
+            out.push_str(&format!("{} degraded cluster(s):\n", self.degradations.len()));
+            for d in &self.degradations {
+                out.push_str(&format!("  {d}\n"));
             }
         }
         let s = &self.stats;
@@ -186,11 +205,12 @@ impl EngineReport {
             f64_lit(s.receiver_time.as_secs_f64() * 1e3)
         ));
         out.push_str(&format!(
-            "\"steals\":{},\"utilization\":{},\"throughput\":{},\"errors\":{}}}",
+            "\"steals\":{},\"utilization\":{},\"throughput\":{},\"errors\":{},\"degraded\":{}}}",
             s.steals,
             f64_lit(s.utilization()),
             f64_lit(s.throughput()),
-            self.errors.len()
+            self.errors.len(),
+            s.degraded
         ));
         out.push_str(",\"clusters\":[");
         for (i, c) in self.clusters.iter().enumerate() {
@@ -208,6 +228,42 @@ impl EngineReport {
                 f64_lit(c.receiver.as_secs_f64() * 1e3),
                 f64_lit(c.total().as_secs_f64() * 1e3)
             ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The signoff document: the serial-identical chip report plus the
+    /// degradation trail, as one JSON object. The `"chip"` value is the
+    /// unmodified [`ChipReport::to_json`] output (so golden chip-report
+    /// bytes are embedded verbatim); `"degradations"` lists every recovered
+    /// victim with its rung and attempt trail. Byte-identical across worker
+    /// counts for a fixed input and fault plan.
+    pub fn signoff_json(&self) -> String {
+        let mut out = String::from("{\"chip\":");
+        out.push_str(&self.chip.to_json());
+        out.push_str(",\"degradations\":[");
+        for (i, d) in self.degradations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"net\":{},\"name\":{},\"recovered\":{},\"attempts\":[",
+                d.net.0,
+                str_lit(&d.name),
+                str_lit(d.recovered.name())
+            ));
+            for (j, (rung, reason)) in d.attempts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"rung\":{},\"reason\":{}}}",
+                    str_lit(rung.name()),
+                    str_lit(reason)
+                ));
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -268,9 +324,42 @@ mod tests {
     }
 
     #[test]
-    fn engine_error_displays_name_and_message() {
-        let e =
-            EngineError { net: PNetId(3), name: "bus0_2".into(), message: "injected fault".into() };
-        assert_eq!(e.to_string(), "bus0_2: injected fault");
+    fn engine_error_displays_name_stage_and_message() {
+        let e = EngineError {
+            net: PNetId(3),
+            name: "bus0_2".into(),
+            stage: "spice_fallback".into(),
+            message: "injected fault".into(),
+        };
+        assert_eq!(e.to_string(), "bus0_2 [spice_fallback]: injected fault");
+    }
+
+    #[test]
+    fn signoff_json_embeds_chip_and_degradations() {
+        use crate::recovery::RecoveryRung;
+        let report = EngineReport {
+            chip: ChipReport {
+                verdicts: Vec::new(),
+                pruning: pcv_xtalk::prune::PruningStats::compute(&[]),
+                warn_frac: 0.1,
+                fail_frac: 0.2,
+            },
+            errors: Vec::new(),
+            degradations: vec![Degradation {
+                net: PNetId(7),
+                name: "bus0_2".into(),
+                attempts: vec![(RecoveryRung::Baseline, "numeric \"failure\"".into())],
+                recovered: RecoveryRung::GminBoost,
+            }],
+            stats: EngineStats::default(),
+            clusters: Vec::new(),
+            trace: None,
+        };
+        let json = report.signoff_json();
+        assert!(json.starts_with("{\"chip\":{"));
+        assert!(json.contains(&format!("{{\"chip\":{}", report.chip.to_json())));
+        assert!(json.contains("\"recovered\":\"gmin_boost\""));
+        assert!(json.contains("\"rung\":\"baseline\""));
+        assert!(json.contains("numeric \\\"failure\\\""), "reasons must be escaped: {json}");
     }
 }

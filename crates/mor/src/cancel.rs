@@ -1,0 +1,100 @@
+//! Cooperative cancellation for long-running reductions and transients.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle polled inside the block
+//! Lanczos and Newton loops so a pathological cluster degrades (via the
+//! engine's recovery ladder) instead of stalling a worker forever. Two
+//! trigger mechanisms exist:
+//!
+//! * an explicit flag ([`CancelToken::cancel`]) — deterministic, settable
+//!   from another thread;
+//! * an optional wall-clock soft deadline ([`CancelToken::with_deadline`]) —
+//!   **non-deterministic** by nature, so report-determinism-sensitive callers
+//!   (the chaos suite, golden fixtures) must not use it. The engine's
+//!   deterministic budgets (`newton_budget` / `max_tran_steps` in
+//!   [`crate::MorOptions`]) are the default stall protection.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle shared between a worker loop and its
+/// supervisor. Cloning shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires until [`cancel`](Self::cancel) is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once `budget` of wall-clock time has
+    /// elapsed. Wall-clock deadlines are non-deterministic; prefer the
+    /// iteration budgets in [`crate::MorOptions`] when byte-identical
+    /// reports matter.
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Raise the cancellation flag. All clones observe it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag is raised or the soft deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_fires_across_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!t2.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        assert!(t2.is_cancelled());
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn token_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelToken>();
+    }
+}

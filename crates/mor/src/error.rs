@@ -31,6 +31,24 @@ pub enum MorError {
     },
     /// An element was found that the linear reduction cannot absorb.
     NotLinear,
+    /// A computed waveform or reduced-model matrix contained NaN or
+    /// infinite entries; surfaced as a typed error so non-finite values
+    /// fail fast instead of poisoning downstream verdicts.
+    NonFinite {
+        /// What was non-finite, e.g. `"reduced transient waveform"`.
+        what: &'static str,
+    },
+    /// The per-cluster work budget (Newton iterations or transient steps)
+    /// was exhausted before reaching `tstop`.
+    BudgetExhausted {
+        /// Simulation time at which the budget ran out.
+        t: f64,
+    },
+    /// A cooperative cancellation flag or soft deadline fired.
+    Cancelled {
+        /// The stage that observed the cancellation, e.g. `"block lanczos"`.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for MorError {
@@ -47,6 +65,15 @@ impl fmt::Display for MorError {
             }
             MorError::NotLinear => {
                 write!(f, "circuit contains elements the linear reduction cannot absorb")
+            }
+            MorError::NonFinite { what } => {
+                write!(f, "{what} produced a non-finite (NaN or infinite) value")
+            }
+            MorError::BudgetExhausted { t } => {
+                write!(f, "per-cluster work budget exhausted at t = {t:e}")
+            }
+            MorError::Cancelled { stage } => {
+                write!(f, "cancelled during {stage} (soft deadline or cancellation flag)")
             }
         }
     }
@@ -81,5 +108,31 @@ mod tests {
         let e = MorError::Numeric(pcv_sparse::Error::Singular { col: 1 });
         assert!(e.to_string().contains("singular"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_recovery_variants() {
+        let e = MorError::NonFinite { what: "reduced transient waveform" };
+        assert!(e.to_string().contains("reduced transient waveform"));
+        assert!(e.to_string().contains("non-finite"));
+        let e = MorError::BudgetExhausted { t: 2e-9 };
+        assert!(e.to_string().contains("budget"));
+        assert!(e.to_string().contains("2e-9"));
+        let e = MorError::Cancelled { stage: "block lanczos" };
+        assert!(e.to_string().contains("block lanczos"));
+    }
+
+    #[test]
+    fn source_chain_reaches_sparse_error() {
+        use std::error::Error as _;
+        let e = MorError::Numeric(pcv_sparse::Error::NotPositiveDefinite { col: 2, pivot: -0.5 });
+        let src = e.source().expect("numeric errors carry a source");
+        assert!(src.to_string().contains("positive definite"));
+        assert!(src.source().is_none(), "sparse errors are leaves");
+        // Non-numeric variants are leaves themselves.
+        assert!(MorError::NoPorts.source().is_none());
+        assert!(MorError::BudgetExhausted { t: 0.0 }.source().is_none());
+        assert!(MorError::Cancelled { stage: "x" }.source().is_none());
+        assert!(MorError::NonFinite { what: "x" }.source().is_none());
     }
 }

@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 
 pub mod arnoldi;
+pub mod cancel;
 pub mod error;
 pub mod model;
 pub mod rc;
@@ -54,6 +55,7 @@ pub mod sim;
 pub mod sympvl;
 
 pub use arnoldi::reduce_arnoldi;
+pub use cancel::CancelToken;
 pub use error::MorError;
 pub use model::{DiagonalModel, ReducedModel};
 pub use rc::RcCluster;

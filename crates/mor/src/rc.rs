@@ -78,6 +78,12 @@ impl RcCluster {
         Ok(())
     }
 
+    /// The leakage conductance currently used for regularization.
+    #[must_use]
+    pub fn gmin(&self) -> f64 {
+        self.gmin
+    }
+
     /// Add a node, returning its index.
     pub fn add_node(&mut self) -> usize {
         self.n += 1;

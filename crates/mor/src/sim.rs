@@ -15,6 +15,7 @@
 //! each solve `O(q·k + k³)` instead of `O(q³)`, which is the efficiency
 //! claim at the heart of the paper.
 
+use crate::cancel::CancelToken;
 use crate::error::MorError;
 use crate::model::DiagonalModel;
 use pcv_netlist::termination::Termination;
@@ -35,6 +36,18 @@ pub struct MorOptions {
     pub max_newton: usize,
     /// Smallest allowed timestep (seconds).
     pub min_step: f64,
+    /// Total Newton-iteration budget for the whole transient (DC solve
+    /// included). Deterministic stall protection: a pathological cluster
+    /// surfaces [`MorError::BudgetExhausted`] instead of running without
+    /// bound. `usize::MAX` disables the check.
+    pub newton_budget: usize,
+    /// Budget of accepted transient steps; [`MorError::BudgetExhausted`]
+    /// when exceeded. `usize::MAX` disables the check.
+    pub max_tran_steps: usize,
+    /// Optional cooperative cancellation handle, polled once per transient
+    /// step and once per Newton iteration. Wall-clock deadlines on the token
+    /// are non-deterministic; see [`CancelToken`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for MorOptions {
@@ -45,8 +58,16 @@ impl Default for MorOptions {
             damping: 0.5,
             max_newton: 80,
             min_step: 1e-18,
+            newton_budget: usize::MAX,
+            max_tran_steps: usize::MAX,
+            cancel: None,
         }
     }
+}
+
+/// Whether the options' cancellation token (if any) has fired.
+fn cancelled(opts: &MorOptions) -> bool {
+    opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
 }
 
 /// Result of a reduced-model transient: one waveform per port.
@@ -163,11 +184,17 @@ pub fn simulate(
         }
     }
     if !dc_ok {
+        if cancelled(opts) {
+            return Err(MorError::Cancelled { stage: "reduced transient dc" });
+        }
         return Err(MorError::NoConvergence { t: 0.0 });
     }
     let mut total_newton = iters;
 
     let mut y = model.outputs(&x);
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(MorError::NonFinite { what: "reduced transient dc solution" });
+    }
     let hmax = tstop * opts.max_step_fraction;
     let h_init = hmax / 10.0;
     let mut h = h_init;
@@ -186,6 +213,12 @@ pub fn simulate(
     let mut use_be = true;
 
     while t < tstop - tiny {
+        if cancelled(opts) {
+            return Err(MorError::Cancelled { stage: "reduced transient" });
+        }
+        if total_newton > opts.newton_budget || steps >= opts.max_tran_steps {
+            return Err(MorError::BudgetExhausted { t });
+        }
         let next_bp = bps.get(bp_idx).copied();
         let mut h_eff = h.min(hmax).min(tstop - t);
         if let Some(bp) = next_bp {
@@ -219,6 +252,9 @@ pub fn simulate(
                 total_newton += it;
                 // Accept.
                 let y_new = model.outputs(&x_new);
+                if y_new.iter().any(|v| !v.is_finite()) {
+                    return Err(MorError::NonFinite { what: "reduced transient waveform" });
+                }
                 for &j in &has_cap {
                     let i_new = if use_be {
                         caps[j] / h_eff * (y_new[j] - cap_v_prev[j])
@@ -298,6 +334,9 @@ fn newton_solve(
     let m_diag: Vec<f64> = d.iter().map(|&dk| alpha * dk + 1.0).collect();
 
     for iter in 0..opts.max_newton {
+        if cancelled(opts) {
+            return Err(());
+        }
         let y = model.outputs(x);
         // Port currents and conductances.
         let mut w = vec![0.0; k]; // effective conductance per active port
@@ -515,6 +554,47 @@ mod tests {
         assert!(matches!(err, Err(MorError::InvalidIndex { .. })));
         let err = simulate(&rom, &[None, None], -1.0, &MorOptions::default());
         assert!(matches!(err, Err(MorError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn zero_newton_budget_fails_to_converge() {
+        // With no Newton iterations allowed, even the DC solve cannot
+        // converge: the typed NoConvergence path is exercised end to end.
+        let cl = rc_line(4, 100.0, 1e-15);
+        let rom = reduce(&cl, 3).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(500.0, SourceWave::step(0.0, 1.0, 0.1e-9, 0.1e-9));
+        let opts = MorOptions { max_newton: 0, ..MorOptions::default() };
+        let err = simulate(&rom, &[Some(&drv), None], 2e-9, &opts).unwrap_err();
+        match err {
+            MorError::NoConvergence { t } => assert_eq!(t, 0.0),
+            other => panic!("expected NoConvergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tiny_work_budget_is_exhausted() {
+        let cl = rc_line(4, 100.0, 1e-15);
+        let rom = reduce(&cl, 3).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(500.0, SourceWave::step(0.0, 1.0, 0.1e-9, 0.1e-9));
+        let opts = MorOptions { newton_budget: 1, ..MorOptions::default() };
+        let err = simulate(&rom, &[Some(&drv), None], 2e-9, &opts).unwrap_err();
+        assert!(matches!(err, MorError::BudgetExhausted { .. }), "got {err}");
+        let opts = MorOptions { max_tran_steps: 3, ..MorOptions::default() };
+        let err = simulate(&rom, &[Some(&drv), None], 2e-9, &opts).unwrap_err();
+        assert!(matches!(err, MorError::BudgetExhausted { t } if t > 0.0), "got {err}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_transient() {
+        use crate::cancel::CancelToken;
+        let cl = rc_line(4, 100.0, 1e-15);
+        let rom = reduce(&cl, 3).unwrap().diagonalize().unwrap();
+        let drv = TheveninTermination::new(500.0, SourceWave::step(0.0, 1.0, 0.1e-9, 0.1e-9));
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = MorOptions { cancel: Some(token), ..MorOptions::default() };
+        let err = simulate(&rom, &[Some(&drv), None], 2e-9, &opts).unwrap_err();
+        assert!(matches!(err, MorError::Cancelled { .. }), "got {err}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! (2–5 nets, per the paper), so the extra dot products are cheap and buy
 //! robustness against the loss of orthogonality classic Lanczos suffers.
 
+use crate::cancel::CancelToken;
 use crate::error::MorError;
 use crate::model::ReducedModel;
 use crate::rc::RcCluster;
@@ -48,6 +49,25 @@ const DEFLATION_TOL: f64 = 1e-10;
 /// * [`MorError::Numeric`] if the regularized conductance matrix is not
 ///   positive definite.
 pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorError> {
+    reduce_with(cl, block_iters, None)
+}
+
+/// [`reduce`] with an optional cooperative cancellation token, polled once
+/// per Lanczos candidate vector so a pathological cluster can be abandoned
+/// mid-reduction instead of stalling a worker.
+///
+/// # Errors
+///
+/// Everything [`reduce`] returns, plus:
+///
+/// * [`MorError::Cancelled`] when `cancel` fires mid-iteration.
+/// * [`MorError::NonFinite`] if the projected `T`/`ρ` matrices contain NaN
+///   or infinite entries (e.g. from a near-singular Cholesky factor).
+pub fn reduce_with(
+    cl: &RcCluster,
+    block_iters: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<ReducedModel, MorError> {
     let p = cl.num_ports();
     if p == 0 {
         return Err(MorError::NoPorts);
@@ -97,6 +117,9 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
         if basis.len() >= max_states {
             break;
         }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(MorError::Cancelled { stage: "block lanczos" });
+        }
         if let Some(v) = orthonormalize(col, &basis) {
             av.push(apply_a(&v));
             basis.push(v);
@@ -110,6 +133,9 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
         for &idx in &current {
             if basis.len() >= max_states {
                 break;
+            }
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(MorError::Cancelled { stage: "block lanczos" });
             }
             let w = av[idx].clone();
             if let Some(v) = orthonormalize(&w, &basis) {
@@ -138,7 +164,18 @@ pub fn reduce(cl: &RcCluster, block_iters: usize) -> Result<ReducedModel, MorErr
             rho[(i, j)] = dot(&basis[i], col);
         }
     }
+    // Guard the projection outputs: a near-singular Cholesky factor can push
+    // NaN/Inf through the triangular solves without tripping any earlier
+    // typed error, and a non-finite T poisons every verdict downstream.
+    if !all_finite(&t) || !all_finite(&rho) {
+        return Err(MorError::NonFinite { what: "reduced model projection" });
+    }
     Ok(ReducedModel::new(t, rho))
+}
+
+/// Every entry of a dense matrix is finite.
+fn all_finite(m: &Dense) -> bool {
+    (0..m.nrows()).all(|r| m.row(r).iter().all(|v| v.is_finite()))
 }
 
 /// Orthogonalize `w` against `basis` (two Gram–Schmidt passes) and
@@ -291,6 +328,21 @@ mod tests {
         let a = no_ports.add_node();
         no_ports.add_ground_cap(a, 1e-15).unwrap();
         assert!(matches!(reduce(&no_ports, 2), Err(MorError::NoPorts)));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_reduction() {
+        use crate::cancel::CancelToken;
+        let cl = coupled_pair(12);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = reduce_with(&cl, 4, Some(&token)).unwrap_err();
+        assert!(matches!(err, MorError::Cancelled { stage: "block lanczos" }), "got {err}");
+        // A live token changes nothing about the reduction.
+        let live = CancelToken::new();
+        let a = reduce_with(&cl, 4, Some(&live)).unwrap();
+        let b = reduce(&cl, 4).unwrap();
+        assert_eq!(a.order(), b.order());
     }
 
     #[test]

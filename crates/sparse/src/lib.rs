@@ -49,6 +49,6 @@ pub mod vecops;
 
 pub use chol::SparseCholesky;
 pub use dense::Dense;
-pub use error::Error;
+pub use error::{ensure_finite, Error};
 pub use lu::SparseLu;
 pub use sparse::{Csc, Triplets};

@@ -33,6 +33,13 @@ pub enum SimError {
         /// The offending node.
         node: NodeId,
     },
+    /// An accepted solution vector contained NaN or infinite voltages;
+    /// surfaced as a typed error so non-finite values fail fast instead of
+    /// poisoning recorded waveforms.
+    NonFinite {
+        /// Simulation time of the poisoned solution (`0.0` for DC).
+        t: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +54,9 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownProbe { node } => {
                 write!(f, "node {node} was not probed")
+            }
+            SimError::NonFinite { t } => {
+                write!(f, "solution produced a non-finite (NaN or infinite) voltage at t = {t:e}")
             }
         }
     }
@@ -432,6 +442,9 @@ impl<'a> Simulator<'a> {
         assert!(probes.iter().all(|p| !p.is_ground()), "cannot probe ground");
         let caps = self.collect_caps();
         let mut x = self.dc(opts)?;
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(SimError::NonFinite { t: 0.0 });
+        }
         let mut state = CapState {
             v_prev: caps.iter().map(|c| node_voltage(&x, c.a) - node_voltage(&x, c.b)).collect(),
             i_prev: vec![0.0; caps.len()],
@@ -487,6 +500,9 @@ impl<'a> Simulator<'a> {
                 opts,
             ) {
                 Ok((x_new, iters)) => {
+                    if x_new.iter().any(|v| !v.is_finite()) {
+                        return Err(SimError::NonFinite { t: t + h_eff });
+                    }
                     // Accept: update capacitor states.
                     for (k, cap) in caps.iter().enumerate() {
                         let v_new = node_voltage(&x_new, cap.a) - node_voltage(&x_new, cap.b);
@@ -732,5 +748,8 @@ mod tests {
         assert!(e.to_string().contains("converge"));
         let e = SimError::StepTooSmall { t: 0.0 };
         assert!(e.to_string().contains("underflow"));
+        let e = SimError::NonFinite { t: 2e-9 };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("2e-9"));
     }
 }

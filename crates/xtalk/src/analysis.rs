@@ -43,6 +43,13 @@ pub struct AnalysisOptions {
     pub input_slew: f64,
     /// Supply voltage (volts).
     pub vdd: f64,
+    /// Multiplier applied to the cluster's `gmin` regularization before
+    /// reduction (1.0 = leave as extracted). The recovery ladder boosts
+    /// this when Cholesky reports a non-SPD conductance matrix.
+    pub gmin_scale: f64,
+    /// Reduced-transient integration knobs (step limits, Newton budgets,
+    /// cancellation), forwarded to [`pcv_mor::simulate`].
+    pub mor: MorOptions,
 }
 
 impl Default for AnalysisOptions {
@@ -53,6 +60,8 @@ impl Default for AnalysisOptions {
             switch_time: 1e-9,
             input_slew: 0.2e-9,
             vdd: 2.5,
+            gmin_scale: 1.0,
+            mor: MorOptions::default(),
         }
     }
 }
@@ -348,6 +357,9 @@ pub fn analyze_glitch(
     let run = run_engine(ctx, &model, &roles, opts)?;
     let baseline = if rising { 0.0 } else { opts.vdd };
     let (t_peak, peak) = run.observe.peak_deviation(baseline);
+    if !peak.is_finite() || !t_peak.is_finite() {
+        return Err(XtalkError::Measurement { what: "finite glitch peak" });
+    }
     Ok(GlitchResult {
         peak,
         t_peak,
@@ -441,7 +453,14 @@ fn run_engine(
                     what: "transistor-level drivers require the SPICE engine",
                 });
             }
-            let rom = sympvl::reduce(&model.rc, block_iters)?.diagonalize()?;
+            let rom = if opts.gmin_scale == 1.0 {
+                sympvl::reduce_with(&model.rc, block_iters, opts.mor.cancel.as_ref())?
+            } else {
+                let mut rc = model.rc.clone();
+                rc.set_gmin(rc.gmin() * opts.gmin_scale)?;
+                sympvl::reduce_with(&rc, block_iters, opts.mor.cancel.as_ref())?
+            }
+            .diagonalize()?;
             let mut boxes: Vec<Box<dyn Termination>> = Vec::with_capacity(roles.len());
             for (k, &role) in roles.iter().enumerate() {
                 let ch = match ctx.driver_model {
@@ -460,7 +479,7 @@ fn run_engine(
             for (k, b) in boxes.iter().enumerate() {
                 terms[model.driver_ports[k]] = Some(b.as_ref());
             }
-            let res = simulate(&rom, &terms, opts.tstop, &MorOptions::default())?;
+            let res = simulate(&rom, &terms, opts.tstop, &opts.mor)?;
             Ok(EngineRun {
                 observe: res.waveform(model.observe_port),
                 victim_driver: res.waveform(model.victim_port()),

@@ -71,6 +71,16 @@ fn main() -> Result<(), XtalkError> {
     let report = engine.verify(&ctx, &victims)?;
 
     print!("{}", report.to_text());
+    // A healthy chip degrades nothing; any entry here names the victim,
+    // the recovery rung that stood, and every failed attempt on the way.
+    if report.degradations.is_empty() {
+        println!("recovery ladder: no cluster needed it (0 degraded verdicts)");
+    } else {
+        println!("recovery ladder: {} degraded verdict(s):", report.degradations.len());
+        for d in &report.degradations {
+            println!("  {d}");
+        }
+    }
     if let Some(trace) = &report.trace {
         println!(
             "trace: {} spans, {} counters — open {}.trace.json in chrome://tracing or Perfetto",
