@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod fixtures;
+pub mod regression;
 pub mod timing;
 
 pub use fixtures::{charlib_for, structure_context, StructureFixture};

@@ -2,15 +2,16 @@
 //! work-stealing scheduler, and merge a deterministic report.
 
 use crate::cache::{CacheEntry, CachedReceiver, ResultCache};
-use crate::fingerprint::{cluster_fingerprint, config_hash};
+use crate::fingerprint::{chip_slice_fingerprint, cluster_fingerprint, config_hash};
 use crate::recovery::{
-    route, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
+    route, Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
 };
 use crate::report::{ClusterCost, EngineError, EngineReport, EngineStats};
 use crate::scheduler;
 use pcv_cells::library::CellKind;
 use pcv_mor::{CancelToken, MorError};
 use pcv_netlist::PNetId;
+use pcv_obs::{EngineEvent, EventSink, RunRecord};
 use pcv_xtalk::drivers::DriverModelKind;
 use pcv_xtalk::prune::{
     coupling_component_sizes, prune_victim_with_components, Cluster, PruneConfig, PruningStats,
@@ -21,10 +22,11 @@ use pcv_xtalk::{
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available core.
     pub workers: usize,
@@ -51,6 +53,34 @@ pub struct EngineConfig {
     /// Recovery-ladder knobs ([`RecoveryConfig`]): how failed cluster jobs
     /// are retried and degraded instead of dropped.
     pub recovery: RecoveryConfig,
+    /// Streaming lifecycle-event sink ([`pcv_obs::EventSink`]): run
+    /// start/finish, cluster queue/start/finish, cache hits, retries,
+    /// degradations, worker idling. Events fire from worker threads as
+    /// they happen — they carry wall-clock data and exist strictly outside
+    /// the deterministic report path. `None` (the default) costs nothing.
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Append one [`pcv_obs::RunRecord`] per run to the JSONL ledger next
+    /// to the cache file (`<cache>.ledger.jsonl`). Only takes effect when
+    /// `cache_path` is set; best-effort, observational only.
+    pub ledger: bool,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("prune", &self.prune)
+            .field("analysis", &self.analysis)
+            .field("warn_frac", &self.warn_frac)
+            .field("fail_frac", &self.fail_frac)
+            .field("check_receivers", &self.check_receivers)
+            .field("cache_path", &self.cache_path)
+            .field("trace", &self.trace)
+            .field("recovery", &self.recovery)
+            .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
+            .field("ledger", &self.ledger)
+            .finish()
+    }
 }
 
 impl Default for EngineConfig {
@@ -65,6 +95,8 @@ impl Default for EngineConfig {
             cache_path: None,
             trace: false,
             recovery: RecoveryConfig::default(),
+            sink: None,
+            ledger: true,
         }
     }
 }
@@ -229,12 +261,25 @@ impl Engine {
                 what: "receiver checks need design and library data",
             });
         }
+        // Bridge spans to the allocation counters when the instrumented
+        // allocator is installed (idempotent no-op otherwise).
+        pcv_obs::mem::install_trace_probe();
         let session = if cfg.trace { Some(pcv_trace::TraceSession::start()) } else { None };
         let start = Instant::now();
         let workers = match cfg.workers {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n,
         };
+        // Lifecycle events are strictly observational: they carry
+        // wall-clock data and never feed back into the report, so the
+        // emit sites below must stay out of anything deterministic.
+        let sink = cfg.sink.as_deref();
+        let emit = |ev: EngineEvent| {
+            if let Some(s) = sink {
+                s.event(&ev);
+            }
+        };
+        emit(EngineEvent::RunStarted { victims: victims.len(), workers });
 
         let cache = {
             let _span = pcv_trace::span("engine", "cache_load");
@@ -254,11 +299,19 @@ impl Engine {
             cfg.check_receivers,
         );
 
+        if sink.is_some() {
+            for &vic in victims {
+                emit(EngineEvent::ClusterQueued { name: ctx.db.net(vic).name().to_owned() });
+            }
+        }
+
         let job = |i: usize| -> Result<JobOk, XtalkError> {
             let vic = victims[i];
             let _job_span = pcv_trace::span_labeled("engine", "cluster_job", || {
                 ctx.db.net(vic).name().to_owned()
             });
+            let job_start = Instant::now();
+            emit(EngineEvent::ClusterStarted { name: ctx.db.net(vic).name().to_owned() });
             let t = Instant::now();
             let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, &component_sizes);
             let prune = t.elapsed();
@@ -267,6 +320,7 @@ impl Engine {
             let fp = cluster_fingerprint(ctx, &cluster, chash);
             if let Some(e) = cache.lookup(&name, fp) {
                 pcv_trace::count("engine.cache.hits", 1);
+                emit(EngineEvent::CacheHit { name: name.clone() });
                 let rise = f64::from_bits(e.rise_bits);
                 let fall = f64::from_bits(e.fall_bits);
                 let (worst_frac, severity) =
@@ -287,6 +341,11 @@ impl Engine {
                     neighbors_before: cluster.neighbors_before,
                     receiver,
                 };
+                emit(EngineEvent::ClusterFinished {
+                    name: verdict.name.clone(),
+                    cached: true,
+                    elapsed: job_start.elapsed(),
+                });
                 return Ok(JobOk {
                     verdict,
                     cluster,
@@ -299,6 +358,7 @@ impl Engine {
                 });
             }
             pcv_trace::count("engine.cache.misses", 1);
+            emit(EngineEvent::CacheMiss { name: name.clone() });
 
             let fault = self.plan.fault_for(&name);
 
@@ -310,13 +370,19 @@ impl Engine {
                     inject(spec.kind, &name, &mut opts)?;
                 }
                 let ok = self.run_attempt(ctx, &cluster, &name, &opts)?;
-                return Ok(self.assemble(vic, cluster, &name, fp, ok, None, prune));
+                let out = self.assemble(vic, cluster, &name, fp, ok, None, prune);
+                emit(EngineEvent::ClusterFinished {
+                    name: name.clone(),
+                    cached: false,
+                    elapsed: job_start.elapsed(),
+                });
+                return Ok(out);
             }
 
             // The recovery ladder: walk rungs until an attempt succeeds;
             // the WorstCase rung always succeeds, so every victim ends
             // with a verdict.
-            let mut attempts: Vec<(RecoveryRung, String)> = Vec::new();
+            let mut attempts: Vec<Attempt> = Vec::new();
             let mut rung = RecoveryRung::Baseline;
             let (ok, recovered) = loop {
                 if rung == RecoveryRung::WorstCase {
@@ -343,6 +409,7 @@ impl Engine {
                 let inject_here = fault
                     .filter(|spec| spec.persistent || rung == RecoveryRung::Baseline)
                     .map(|spec| spec.kind);
+                let attempt_start = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if let Some(kind) = inject_here {
                         inject(kind, &name, &mut opts)?;
@@ -360,16 +427,26 @@ impl Engine {
                         }
                         let target = route(&err);
                         let next = rung.next().expect("worst case breaks the loop");
-                        attempts.push((rung, err.to_string()));
+                        attempts.push(Attempt {
+                            rung,
+                            reason: err.to_string(),
+                            elapsed: attempt_start.elapsed(),
+                        });
                         rung = next.max(target);
+                        emit(EngineEvent::ClusterRetried { name: name.clone(), rung: rung.name() });
                     }
                     Err(payload) => {
                         let message = scheduler::panic_message(payload);
-                        attempts.push((rung, format!("job panicked: {message}")));
+                        attempts.push(Attempt {
+                            rung,
+                            reason: format!("job panicked: {message}"),
+                            elapsed: attempt_start.elapsed(),
+                        });
                         // A panic carries no typed routing information;
                         // skip the MOR-tuning rungs entirely.
                         let next = rung.next().expect("worst case breaks the loop");
                         rung = next.max(RecoveryRung::SpiceFallback);
+                        emit(EngineEvent::ClusterRetried { name: name.clone(), rung: rung.name() });
                     }
                 }
             };
@@ -378,12 +455,21 @@ impl Engine {
                 if recovered == RecoveryRung::SpiceFallback {
                     pcv_trace::count("engine.recovery.fallback_spice", 1);
                 }
+                emit(EngineEvent::ClusterDegraded { name: name.clone(), rung: recovered.name() });
                 Degradation { net: vic, name: name.clone(), attempts, recovered }
             });
-            Ok(self.assemble(vic, cluster, &name, fp, ok, degradation, prune))
+            let out = self.assemble(vic, cluster, &name, fp, ok, degradation, prune);
+            emit(EngineEvent::ClusterFinished {
+                name: name.clone(),
+                cached: false,
+                elapsed: job_start.elapsed(),
+            });
+            Ok(out)
         };
 
-        let (results, run_stats) = scheduler::run(workers, victims.len(), job);
+        let (results, run_stats) = scheduler::run_with_idle(workers, victims.len(), job, |w| {
+            emit(EngineEvent::WorkerIdle { worker: w })
+        });
 
         // Deterministic merge: collect in input order, then apply the exact
         // stable sort the serial flow uses. Stability makes ties keep input
@@ -423,7 +509,7 @@ impl Engine {
                         // the stage and reason the analysis gave up on.
                         if d.recovered == RecoveryRung::WorstCase {
                             let (stage, message) = match d.attempts.last() {
-                                Some((rung, reason)) => (rung.name().to_owned(), reason.clone()),
+                                Some(a) => (a.rung.name().to_owned(), a.reason.clone()),
                                 None => ("baseline".to_owned(), "no attempt recorded".to_owned()),
                             };
                             errors.push(EngineError {
@@ -470,6 +556,8 @@ impl Engine {
             let _ = updated.save(path);
         }
 
+        let recovery_total: Duration = degradations.iter().map(Degradation::recovery_time).sum();
+        let mem = pcv_obs::mem::snapshot().unwrap_or_default();
         let stats = EngineStats {
             workers,
             victims: victims.len(),
@@ -479,10 +567,49 @@ impl Engine {
             prune_time: prune_total,
             analysis_time: analysis_total,
             receiver_time: receiver_total,
+            recovery_time: recovery_total,
             wall_time: start.elapsed(),
             worker_busy: run_stats.worker_busy,
             steals: run_stats.steals,
+            peak_alloc_bytes: mem.peak_bytes,
+            allocs: mem.allocs,
         };
+        emit(EngineEvent::RunFinished {
+            victims: victims.len(),
+            wall: stats.wall_time,
+            cache_hits: hits,
+            degraded: degradations.len(),
+        });
+        if cfg.ledger {
+            if let Some(path) = cfg.cache_path.as_deref() {
+                let record = RunRecord {
+                    config_fingerprint: chash,
+                    chip_fingerprint: chip_slice_fingerprint(ctx, victims),
+                    victims: victims.len(),
+                    workers,
+                    host_parallelism: std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    degraded: degradations.len(),
+                    errors: errors.len(),
+                    steals: stats.steals,
+                    wall_ms: stats.wall_time.as_secs_f64() * 1e3,
+                    prune_ms: prune_total.as_secs_f64() * 1e3,
+                    analysis_ms: analysis_total.as_secs_f64() * 1e3,
+                    receiver_ms: receiver_total.as_secs_f64() * 1e3,
+                    recovery_ms: recovery_total.as_secs_f64() * 1e3,
+                    peak_alloc_bytes: mem.peak_bytes,
+                    allocs: mem.allocs,
+                };
+                let mut os = path.as_os_str().to_owned();
+                os.push(".ledger.jsonl");
+                // Best-effort, like the cache save: a failed append only
+                // costs trajectory history.
+                let _ = record.append(std::path::Path::new(&os));
+            }
+        }
         let trace = session.map(|s| s.finish());
         let report = EngineReport {
             chip: ChipReport {
@@ -724,7 +851,7 @@ mod tests {
         assert_eq!(d.name, "hot");
         assert_eq!(d.recovered, RecoveryRung::WorstCase);
         // Panics skip the MOR-tuning rungs: baseline, then SPICE, then out.
-        let rungs: Vec<RecoveryRung> = d.attempts.iter().map(|&(r, _)| r).collect();
+        let rungs: Vec<RecoveryRung> = d.attempts.iter().map(|a| a.rung).collect();
         assert_eq!(rungs, [RecoveryRung::Baseline, RecoveryRung::SpiceFallback]);
         assert_eq!(report.stats.degraded, 1);
         // The other victim is still fully audited, untouched by recovery.
@@ -770,7 +897,7 @@ mod tests {
         let d = &report.degradations[0];
         assert_eq!(d.recovered, RecoveryRung::GminBoost);
         assert_eq!(d.attempts.len(), 1);
-        assert!(d.attempts[0].1.contains("positive definite"));
+        assert!(d.attempts[0].reason.contains("positive definite"));
         // Every victim has a verdict; the unfaulted one is bit-identical
         // to the clean run.
         assert_eq!(report.chip.verdicts.len(), 2);
@@ -794,7 +921,7 @@ mod tests {
         assert_eq!(report.degradations.len(), 1);
         let d = &report.degradations[0];
         assert_eq!(d.recovered, RecoveryRung::SpiceFallback);
-        assert!(d.attempts.iter().all(|(_, reason)| reason.contains("budget exhausted")));
+        assert!(d.attempts.iter().all(|a| a.reason.contains("budget exhausted")));
         let hot_v = report.chip.verdicts.iter().find(|v| v.name == "hot").unwrap();
         assert!(hot_v.worst_frac < 1.0, "a real analysis stood, not the worst case");
     }

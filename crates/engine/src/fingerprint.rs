@@ -126,6 +126,19 @@ pub fn config_hash(
     h.finish()
 }
 
+/// Fingerprint of the audited chip slice: the victim list (names, in
+/// input order). Stamped into run-ledger records so cross-run
+/// trajectories of different audits on the same cache never mix.
+pub fn chip_slice_fingerprint(ctx: &AnalysisContext<'_>, victims: &[pcv_netlist::PNetId]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("pcv-engine chip slice v1");
+    h.write_usize(victims.len());
+    for &v in victims {
+        h.write_str(ctx.db.net(v).name());
+    }
+    h.finish()
+}
+
 /// Fingerprint one pruned cluster under a given configuration hash.
 pub fn cluster_fingerprint(ctx: &AnalysisContext<'_>, cluster: &Cluster, config: u64) -> u64 {
     let mut h = Fnv1a::new();

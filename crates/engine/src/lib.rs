@@ -75,6 +75,8 @@ pub mod scheduler;
 
 pub use cache::{CacheEntry, CachedReceiver, ResultCache};
 pub use engine::{Engine, EngineConfig};
-pub use fingerprint::{cluster_fingerprint, config_hash, Fnv1a};
-pub use recovery::{Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung};
+pub use fingerprint::{chip_slice_fingerprint, cluster_fingerprint, config_hash, Fnv1a};
+pub use recovery::{
+    Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
+};
 pub use report::{ClusterCost, EngineError, EngineReport, EngineStats};

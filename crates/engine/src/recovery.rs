@@ -263,6 +263,23 @@ impl FaultPlan {
     }
 }
 
+/// One failed ladder attempt: which rung, why it failed, and how long the
+/// failing analysis ran before giving up.
+///
+/// `elapsed` is wall-clock and therefore **never** enters the
+/// deterministic signoff document (which must be byte-identical across
+/// worker counts and machines) — it exists so the run ledger and operator
+/// stats can attribute the *cost* of recovery, not just its path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// The rung the attempt ran at.
+    pub rung: RecoveryRung,
+    /// Why it failed (error or panic message).
+    pub reason: String,
+    /// Wall-clock time the failing attempt consumed.
+    pub elapsed: Duration,
+}
+
 /// How one cluster was degraded: every failed attempt (rung + reason) and
 /// the rung whose result finally stood. Joinable with
 /// [`EngineError`](crate::EngineError) records through `net`/`name`.
@@ -272,19 +289,26 @@ pub struct Degradation {
     pub net: PNetId,
     /// Victim net name.
     pub name: String,
-    /// `(rung, failure reason)` for every attempt that failed, in ladder
-    /// order.
-    pub attempts: Vec<(RecoveryRung, String)>,
+    /// Every attempt that failed, in ladder order.
+    pub attempts: Vec<Attempt>,
     /// The rung that produced the standing verdict
     /// ([`RecoveryRung::WorstCase`] when every analysis failed).
     pub recovered: RecoveryRung,
 }
 
+impl Degradation {
+    /// Total wall-clock time spent inside this cluster's failed attempts —
+    /// the price the recovery ladder paid before a verdict stood.
+    pub fn recovery_time(&self) -> Duration {
+        self.attempts.iter().map(|a| a.elapsed).sum()
+    }
+}
+
 impl std::fmt::Display for Degradation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: recovered at {} after", self.name, self.recovered.name())?;
-        for (rung, reason) in &self.attempts {
-            write!(f, " [{}: {}]", rung.name(), reason)?;
+        for a in &self.attempts {
+            write!(f, " [{}: {}]", a.rung.name(), a.reason)?;
         }
         Ok(())
     }
@@ -377,12 +401,17 @@ mod tests {
         let d = Degradation {
             net: PNetId(0),
             name: "bus0_2".into(),
-            attempts: vec![(RecoveryRung::Baseline, "matrix is not positive definite".into())],
+            attempts: vec![Attempt {
+                rung: RecoveryRung::Baseline,
+                reason: "matrix is not positive definite".into(),
+                elapsed: Duration::from_millis(3),
+            }],
             recovered: RecoveryRung::GminBoost,
         };
         let s = d.to_string();
         assert!(s.contains("bus0_2"));
         assert!(s.contains("gmin_boost"));
         assert!(s.contains("positive definite"));
+        assert_eq!(d.recovery_time(), Duration::from_millis(3));
     }
 }

@@ -79,12 +79,21 @@ pub struct EngineStats {
     pub analysis_time: Duration,
     /// Summed time in receiver checks across all workers.
     pub receiver_time: Duration,
+    /// Summed time inside *failed* recovery-ladder attempts across all
+    /// workers — what the ladder cost before a verdict stood.
+    pub recovery_time: Duration,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
     /// Per-worker busy time (time spent inside jobs).
     pub worker_busy: Vec<Duration>,
     /// Jobs a worker stole from another worker's queue.
     pub steals: u64,
+    /// Peak live heap bytes observed by the instrumented allocator
+    /// ([`pcv_obs::TrackingAlloc`]); 0 when tracking is not installed.
+    pub peak_alloc_bytes: u64,
+    /// Allocations observed by the instrumented allocator; 0 when
+    /// tracking is not installed.
+    pub allocs: u64,
 }
 
 impl EngineStats {
@@ -175,6 +184,19 @@ impl EngineReport {
             s.steals,
             100.0 * s.utilization()
         ));
+        if !s.recovery_time.is_zero() {
+            out.push_str(&format!(
+                "engine: recovery ladder spent {:.2} ms in failed attempts\n",
+                s.recovery_time.as_secs_f64() * 1e3
+            ));
+        }
+        if s.peak_alloc_bytes > 0 {
+            out.push_str(&format!(
+                "engine: peak heap {:.2} MiB over {} allocations\n",
+                s.peak_alloc_bytes as f64 / (1024.0 * 1024.0),
+                s.allocs
+            ));
+        }
         for c in self.clusters.iter().take(3) {
             out.push_str(&format!(
                 "engine: top cost {} ({} nets{}): {:.2} ms analysis, {:.2} ms total\n",
@@ -198,11 +220,13 @@ impl EngineReport {
             s.workers, s.victims, s.cache_hits, s.cache_misses
         ));
         out.push_str(&format!(
-            "\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\"receiver_ms\":{},",
+            "\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\"receiver_ms\":{},\
+             \"recovery_ms\":{},",
             f64_lit(s.wall_time.as_secs_f64() * 1e3),
             f64_lit(s.prune_time.as_secs_f64() * 1e3),
             f64_lit(s.analysis_time.as_secs_f64() * 1e3),
-            f64_lit(s.receiver_time.as_secs_f64() * 1e3)
+            f64_lit(s.receiver_time.as_secs_f64() * 1e3),
+            f64_lit(s.recovery_time.as_secs_f64() * 1e3)
         ));
         out.push_str(&format!(
             "\"steals\":{},\"utilization\":{},\"throughput\":{},\"errors\":{},\"degraded\":{}}}",
@@ -211,6 +235,10 @@ impl EngineReport {
             f64_lit(s.throughput()),
             self.errors.len(),
             s.degraded
+        ));
+        out.push_str(&format!(
+            ",\"memory\":{{\"peak_alloc_bytes\":{},\"allocs\":{}}}",
+            s.peak_alloc_bytes, s.allocs
         ));
         out.push_str(",\"clusters\":[");
         for (i, c) in self.clusters.iter().enumerate() {
@@ -253,14 +281,17 @@ impl EngineReport {
                 str_lit(&d.name),
                 str_lit(d.recovered.name())
             ));
-            for (j, (rung, reason)) in d.attempts.iter().enumerate() {
+            // Attempt durations are wall-clock and deliberately omitted:
+            // this document must stay byte-identical across worker counts
+            // and machines. They live in the run ledger instead.
+            for (j, a) in d.attempts.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
                 }
                 out.push_str(&format!(
                     "{{\"rung\":{},\"reason\":{}}}",
-                    str_lit(rung.name()),
-                    str_lit(reason)
+                    str_lit(a.rung.name()),
+                    str_lit(&a.reason)
                 ));
             }
             out.push_str("]}");
@@ -348,7 +379,11 @@ mod tests {
             degradations: vec![Degradation {
                 net: PNetId(7),
                 name: "bus0_2".into(),
-                attempts: vec![(RecoveryRung::Baseline, "numeric \"failure\"".into())],
+                attempts: vec![crate::recovery::Attempt {
+                    rung: RecoveryRung::Baseline,
+                    reason: "numeric \"failure\"".into(),
+                    elapsed: Duration::from_millis(2),
+                }],
                 recovered: RecoveryRung::GminBoost,
             }],
             stats: EngineStats::default(),
@@ -361,5 +396,8 @@ mod tests {
         assert!(json.contains("\"recovered\":\"gmin_boost\""));
         assert!(json.contains("\"rung\":\"baseline\""));
         assert!(json.contains("numeric \\\"failure\\\""), "reasons must be escaped: {json}");
+        // Wall-clock attempt durations must never leak into the signoff
+        // document — it is byte-compared across worker counts.
+        assert!(!json.contains("elapsed"), "signoff must not carry timings: {json}");
     }
 }

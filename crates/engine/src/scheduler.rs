@@ -52,8 +52,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_with_idle(workers, n_jobs, job, |_| {})
+}
+
+/// [`run`], plus an idle callback: `on_idle(worker)` fires once per worker
+/// the moment it finds no job in its own deque and nothing left to steal —
+/// i.e. when it goes idle for good. Observability hooks (progress sinks)
+/// use this to report tail-end worker starvation; the callback runs on the
+/// worker thread and must not panic.
+pub fn run_with_idle<T, F, I>(
+    workers: usize,
+    n_jobs: usize,
+    job: F,
+    on_idle: I,
+) -> (Vec<Result<T, String>>, RunStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn(usize) + Sync,
+{
     assert!(workers > 0, "need at least one worker");
     if n_jobs == 0 {
+        for worker in 0..workers {
+            on_idle(worker);
+        }
         return (Vec::new(), RunStats { steals: 0, worker_busy: vec![Duration::ZERO; workers] });
     }
 
@@ -75,6 +97,7 @@ where
             let deques = &deques;
             let steals = &steals;
             let job = &job;
+            let on_idle = &on_idle;
             handles.push(scope.spawn(move || {
                 let mut busy = Duration::ZERO;
                 loop {
@@ -102,7 +125,10 @@ where
                             }
                         }
                     }
-                    let Some(idx) = next else { break };
+                    let Some(idx) = next else {
+                        on_idle(me);
+                        break;
+                    };
                     let start = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(|| job(idx))).map_err(panic_message);
                     busy += start.elapsed();
@@ -164,6 +190,24 @@ mod tests {
             } else {
                 assert_eq!(*r, Ok(i + 1));
             }
+        }
+    }
+
+    #[test]
+    fn idle_callback_fires_once_per_worker() {
+        use std::sync::atomic::AtomicU64;
+        for (workers, jobs) in [(1usize, 5usize), (4, 9), (4, 0)] {
+            let idles = AtomicU64::new(0);
+            let (results, _) = run_with_idle(
+                workers,
+                jobs,
+                |i| i,
+                |_w| {
+                    idles.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(results.len(), jobs);
+            assert_eq!(idles.load(Ordering::Relaxed), workers as u64);
         }
     }
 

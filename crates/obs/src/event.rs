@@ -1,0 +1,242 @@
+//! Engine lifecycle events and the pluggable sink they flow into.
+//!
+//! Events are *observational*: they describe what the engine did, they
+//! never influence what it does. Sinks run on the engine's worker threads,
+//! so implementations must be cheap and thread-safe; anything expensive
+//! belongs behind an [`EventChannel`](crate::EventChannel).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One structured lifecycle event from an engine run.
+///
+/// Cluster-scoped events (`ClusterQueued` through `ClusterFinished`) fire a
+/// deterministic number of times per kind for a fixed input, cache state
+/// and fault plan — worker count and scheduling only change interleaving.
+/// Run- and worker-scoped events (`RunStarted`, `WorkerIdle`, `RunFinished`)
+/// scale with the execution environment instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// Verification started.
+    RunStarted {
+        /// Victims submitted.
+        victims: usize,
+        /// Worker threads the run will use.
+        workers: usize,
+    },
+    /// A victim was queued as a cluster job (one per victim, before any
+    /// job runs).
+    ClusterQueued {
+        /// Victim net name.
+        name: String,
+    },
+    /// A worker picked up a cluster job.
+    ClusterStarted {
+        /// Victim net name.
+        name: String,
+    },
+    /// A cluster job was answered from the incremental cache.
+    CacheHit {
+        /// Victim net name.
+        name: String,
+    },
+    /// A cluster job missed the cache and ran the full analysis.
+    CacheMiss {
+        /// Victim net name.
+        name: String,
+    },
+    /// One recovery-ladder attempt failed and the job is retrying at a
+    /// higher rung (one event per failed attempt).
+    ClusterRetried {
+        /// Victim net name.
+        name: String,
+        /// Stable name of the rung that failed (e.g. `"baseline"`).
+        rung: &'static str,
+    },
+    /// A cluster's standing verdict came from a rung above baseline.
+    ClusterDegraded {
+        /// Victim net name.
+        name: String,
+        /// Stable name of the rung that stood.
+        rung: &'static str,
+    },
+    /// A cluster job completed with a verdict.
+    ClusterFinished {
+        /// Victim net name.
+        name: String,
+        /// Whether the verdict came from the cache.
+        cached: bool,
+        /// Time the job spent (prune + analysis + receiver).
+        elapsed: Duration,
+    },
+    /// A worker ran out of work and left the pool (one per worker).
+    WorkerIdle {
+        /// Dense worker index.
+        worker: usize,
+    },
+    /// Verification finished.
+    RunFinished {
+        /// Victims audited.
+        victims: usize,
+        /// Wall-clock time of the run.
+        wall: Duration,
+        /// Verdicts answered from the cache.
+        cache_hits: usize,
+        /// Clusters whose verdict came from a recovery rung.
+        degraded: usize,
+    },
+}
+
+impl EngineEvent {
+    /// Stable lower-case kind name, used by counting sinks and displays.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::RunStarted { .. } => "run_started",
+            EngineEvent::ClusterQueued { .. } => "cluster_queued",
+            EngineEvent::ClusterStarted { .. } => "cluster_started",
+            EngineEvent::CacheHit { .. } => "cache_hit",
+            EngineEvent::CacheMiss { .. } => "cache_miss",
+            EngineEvent::ClusterRetried { .. } => "cluster_retried",
+            EngineEvent::ClusterDegraded { .. } => "cluster_degraded",
+            EngineEvent::ClusterFinished { .. } => "cluster_finished",
+            EngineEvent::WorkerIdle { .. } => "worker_idle",
+            EngineEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// `true` for cluster-scoped kinds, whose per-kind counts are
+    /// deterministic across worker counts and scheduling orders.
+    pub fn is_cluster_scoped(&self) -> bool {
+        !matches!(
+            self,
+            EngineEvent::RunStarted { .. }
+                | EngineEvent::WorkerIdle { .. }
+                | EngineEvent::RunFinished { .. }
+        )
+    }
+}
+
+/// Where engine events go. Called from worker threads concurrently; keep
+/// implementations cheap and never panic (a sink must not take a run down).
+pub trait EventSink: Send + Sync {
+    /// Observe one event.
+    fn event(&self, ev: &EngineEvent);
+}
+
+/// A sink that discards every event — the explicit form of "no
+/// observability", for code that wants to hold a sink unconditionally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&self, _ev: &EngineEvent) {}
+}
+
+/// A sink that counts events per kind — the workhorse of the event-stream
+/// determinism tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CountingSink {
+    /// Fresh sink with all counts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current per-kind counts.
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        self.counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Counts restricted to cluster-scoped kinds (the deterministic
+    /// subset).
+    pub fn cluster_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = self.counts();
+        counts.retain(|kind, _| !matches!(*kind, "run_started" | "worker_idle" | "run_finished"));
+        counts
+    }
+
+    /// Count for one kind (0 when never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts().get(kind).copied().unwrap_or(0)
+    }
+}
+
+impl EventSink for CountingSink {
+    fn event(&self, ev: &EngineEvent) {
+        let mut counts = self.counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *counts.entry(ev.kind()).or_insert(0) += 1;
+    }
+}
+
+/// Fan one event stream out to several sinks.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// A sink that forwards every event to each of `sinks`, in order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn EventSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn event(&self, ev: &EngineEvent) {
+        for sink in &self.sinks {
+            sink.event(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_scoped() {
+        let ev = EngineEvent::ClusterFinished {
+            name: "v0".into(),
+            cached: false,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(ev.kind(), "cluster_finished");
+        assert!(ev.is_cluster_scoped());
+        let run = EngineEvent::RunStarted { victims: 3, workers: 2 };
+        assert_eq!(run.kind(), "run_started");
+        assert!(!run.is_cluster_scoped());
+        assert!(!EngineEvent::WorkerIdle { worker: 0 }.is_cluster_scoped());
+    }
+
+    #[test]
+    fn counting_sink_tallies_per_kind() {
+        let sink = CountingSink::new();
+        sink.event(&EngineEvent::RunStarted { victims: 2, workers: 1 });
+        for name in ["a", "b"] {
+            sink.event(&EngineEvent::ClusterStarted { name: name.into() });
+            sink.event(&EngineEvent::CacheMiss { name: name.into() });
+        }
+        sink.event(&EngineEvent::WorkerIdle { worker: 0 });
+        assert_eq!(sink.count("cluster_started"), 2);
+        assert_eq!(sink.count("cache_miss"), 2);
+        assert_eq!(sink.count("run_started"), 1);
+        assert_eq!(sink.count("never_happened"), 0);
+        let cluster = sink.cluster_counts();
+        assert!(cluster.contains_key("cluster_started"));
+        assert!(!cluster.contains_key("run_started"));
+        assert!(!cluster.contains_key("worker_idle"));
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = std::sync::Arc::new(CountingSink::new());
+        let b = std::sync::Arc::new(CountingSink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.event(&EngineEvent::ClusterQueued { name: "x".into() });
+        assert_eq!(a.count("cluster_queued"), 1);
+        assert_eq!(b.count("cluster_queued"), 1);
+    }
+}

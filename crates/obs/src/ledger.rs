@@ -1,0 +1,215 @@
+//! The run ledger: one append-only JSONL record per engine run, written
+//! next to the result cache, giving sign-off runs a cross-run trajectory
+//! (wall time, stage split, cache behavior, memory) that per-run traces
+//! cannot provide.
+//!
+//! Records are observational only — nothing reads them back into the
+//! verification flow. The schema is versioned and flat so any line-
+//! oriented tool (or [`crate::json::parse`]) can consume it.
+
+use crate::json::{self, Value};
+use pcv_trace::json::{f64_lit, str_lit};
+use std::io::Write;
+use std::path::Path;
+
+/// Current ledger schema version.
+pub const SCHEMA: u64 = 1;
+
+/// One engine run, as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Configuration fingerprint (the engine's v3 `config_hash`).
+    pub config_fingerprint: u64,
+    /// Fingerprint of the audited chip slice (victim set + netlist shape).
+    pub chip_fingerprint: u64,
+    /// Victims submitted.
+    pub victims: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// `std::thread::available_parallelism` on the host that ran it.
+    pub host_parallelism: usize,
+    /// Verdicts answered from the incremental cache.
+    pub cache_hits: usize,
+    /// Jobs that ran the full analysis.
+    pub cache_misses: usize,
+    /// Verdicts produced by a recovery rung above baseline.
+    pub degraded: usize,
+    /// Failed-job records.
+    pub errors: usize,
+    /// Work-stealing events.
+    pub steals: u64,
+    /// Wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Summed pruning time across workers, milliseconds.
+    pub prune_ms: f64,
+    /// Summed glitch-analysis time across workers, milliseconds.
+    pub analysis_ms: f64,
+    /// Summed receiver-check time across workers, milliseconds.
+    pub receiver_ms: f64,
+    /// Summed time inside failed recovery-ladder attempts, milliseconds —
+    /// the cost of recovery itself, attributable thanks to per-attempt
+    /// durations.
+    pub recovery_ms: f64,
+    /// Peak live bytes during the process (0 when allocation tracking is
+    /// off).
+    pub peak_alloc_bytes: u64,
+    /// Allocations recorded (0 when tracking is off).
+    pub allocs: u64,
+}
+
+impl RunRecord {
+    /// Render as one JSONL line (no trailing newline). Fingerprints are
+    /// hex strings so they survive JSON's f64 numbers unscathed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":{SCHEMA},\"config_fingerprint\":{},\"chip_fingerprint\":{},\
+             \"victims\":{},\"workers\":{},\"host_parallelism\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"degraded\":{},\"errors\":{},\
+             \"steals\":{},\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\
+             \"receiver_ms\":{},\"recovery_ms\":{},\"peak_alloc_bytes\":{},\"allocs\":{}}}",
+            str_lit(&format!("{:016x}", self.config_fingerprint)),
+            str_lit(&format!("{:016x}", self.chip_fingerprint)),
+            self.victims,
+            self.workers,
+            self.host_parallelism,
+            self.cache_hits,
+            self.cache_misses,
+            self.degraded,
+            self.errors,
+            self.steals,
+            f64_lit(self.wall_ms),
+            f64_lit(self.prune_ms),
+            f64_lit(self.analysis_ms),
+            f64_lit(self.receiver_ms),
+            f64_lit(self.recovery_ms),
+            self.peak_alloc_bytes,
+            self.allocs,
+        )
+    }
+
+    /// Parse one ledger line back into a record. Returns `None` for
+    /// malformed lines or unknown schema versions — a ledger reader must
+    /// skip what it cannot understand, never fail the run.
+    pub fn parse(line: &str) -> Option<RunRecord> {
+        let v = json::parse(line.trim()).ok()?;
+        if v.get("schema")?.as_u64()? != SCHEMA {
+            return None;
+        }
+        let hex =
+            |key: &str| -> Option<u64> { u64::from_str_radix(v.get(key)?.as_str()?, 16).ok() };
+        let uint = |key: &str| v.get(key).and_then(Value::as_u64);
+        let ms = |key: &str| v.get(key).and_then(Value::as_f64);
+        Some(RunRecord {
+            config_fingerprint: hex("config_fingerprint")?,
+            chip_fingerprint: hex("chip_fingerprint")?,
+            victims: uint("victims")? as usize,
+            workers: uint("workers")? as usize,
+            host_parallelism: uint("host_parallelism")? as usize,
+            cache_hits: uint("cache_hits")? as usize,
+            cache_misses: uint("cache_misses")? as usize,
+            degraded: uint("degraded")? as usize,
+            errors: uint("errors")? as usize,
+            steals: uint("steals")?,
+            wall_ms: ms("wall_ms")?,
+            prune_ms: ms("prune_ms")?,
+            analysis_ms: ms("analysis_ms")?,
+            receiver_ms: ms("receiver_ms")?,
+            recovery_ms: ms("recovery_ms")?,
+            peak_alloc_bytes: uint("peak_alloc_bytes")?,
+            allocs: uint("allocs")?,
+        })
+    }
+
+    /// Append this record as one line to the ledger at `path`, creating
+    /// the file if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers treat the ledger as best-effort).
+    pub fn append(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// Read every parseable record from a ledger file. Malformed or
+/// foreign-schema lines are skipped, not errors.
+pub fn read_all(path: &Path) -> Vec<RunRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(RunRecord::parse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            config_fingerprint: 0xdead_beef_0123_4567,
+            chip_fingerprint: 0x0bad_cafe_89ab_cdef,
+            victims: 42,
+            workers: 4,
+            host_parallelism: 8,
+            cache_hits: 30,
+            cache_misses: 12,
+            degraded: 2,
+            errors: 1,
+            steals: 17,
+            wall_ms: 123.5,
+            prune_ms: 10.25,
+            analysis_ms: 88.0,
+            receiver_ms: 4.75,
+            recovery_ms: 9.125,
+            peak_alloc_bytes: 1_234_567,
+            allocs: 98_765,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_parse() {
+        let rec = sample();
+        let line = rec.to_json();
+        assert!(!line.contains('\n'), "a record is one JSONL line");
+        assert_eq!(RunRecord::parse(&line), Some(rec));
+    }
+
+    #[test]
+    fn unknown_schema_and_garbage_are_skipped() {
+        assert_eq!(RunRecord::parse("not json"), None);
+        assert_eq!(RunRecord::parse("{\"schema\":999}"), None);
+        let truncated = "{\"schema\":1,\"victims\":3}";
+        assert_eq!(RunRecord::parse(truncated), None);
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let dir = std::env::temp_dir().join("pcv-obs-ledger-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = sample();
+        rec.append(&path).unwrap();
+        rec.victims = 43;
+        rec.append(&path).unwrap();
+        let all = read_all(&path);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].victims, 42);
+        assert_eq!(all[1].victims, 43);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_all_skips_bad_lines() {
+        let dir = std::env::temp_dir().join("pcv-obs-ledger-mixed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let mut text = String::from("garbage line\n");
+        text.push_str(&sample().to_json());
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(read_all(&path).len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

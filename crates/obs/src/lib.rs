@@ -1,0 +1,47 @@
+//! Observability for the chip-verification engine: streaming lifecycle
+//! events, live progress, memory telemetry, and a cross-run ledger.
+//!
+//! The paper's pitch is making chip-level coupling verification *tractable
+//! at scale* — which is only a claim you can stand behind if every long
+//! sign-off run is observable while it happens and comparable after it
+//! finishes. This crate is the std-only, zero-dependency layer that
+//! provides exactly that, strictly outside the deterministic report path:
+//!
+//! - **Events** ([`EngineEvent`], [`EventSink`]) — structured lifecycle
+//!   events the engine emits from its worker threads: run started, cluster
+//!   started/finished/retried/degraded, cache hits, worker idle. Sinks are
+//!   pluggable; event *counts* per cluster-scoped kind are a pure function
+//!   of the input, independent of worker count and scheduling.
+//! - **Channel** ([`EventChannel`]) — a bounded, lock-free-ish ring for
+//!   shipping events off the hot path to a consumer thread; when full it
+//!   drops (and counts) rather than blocking a worker.
+//! - **Progress** ([`ProgressMonitor`], [`StderrStatusLine`]) — throughput,
+//!   EWMA-based ETA, per-stage completion, and a live single-line stderr
+//!   status display that auto-disables when stderr is not a TTY or
+//!   `PCV_NO_PROGRESS` is set.
+//! - **Memory** ([`TrackingAlloc`], [`mem`]) — an instrumented global
+//!   allocator (feature `track-alloc`, relaxed atomics) recording
+//!   current/peak bytes and allocation counts, globally and per thread,
+//!   plus a [`pcv_trace`] probe so every span carries its allocation delta.
+//! - **Ledger** ([`ledger`]) — one append-only JSONL record per engine run
+//!   (fingerprints, stage wall times, counters, peak memory), written next
+//!   to the result cache, parseable back with the in-tree [`json`] reader.
+//!
+//! Nothing in this crate feeds back into verification results: reports,
+//! caches, and sign-off documents are byte-identical with observability on
+//! or off.
+
+#![deny(missing_docs)]
+
+pub mod alloc;
+pub mod channel;
+pub mod event;
+pub mod json;
+pub mod ledger;
+pub mod progress;
+
+pub use alloc::{mem, MemSnapshot, TrackingAlloc};
+pub use channel::{ChannelSink, EventChannel, EventReceiver};
+pub use event::{CountingSink, EngineEvent, EventSink, NullSink, TeeSink};
+pub use ledger::RunRecord;
+pub use progress::{ProgressMonitor, ProgressSnapshot, StderrStatusLine};

@@ -27,6 +27,12 @@ pub struct SpanRecord {
     pub start: Instant,
     /// When the span guard dropped.
     pub end: Instant,
+    /// Bytes allocated on the recording thread while the span was open
+    /// (0 unless a [`crate::mem`] probe is registered).
+    pub alloc_bytes: u64,
+    /// Allocations made on the recording thread while the span was open
+    /// (0 unless a [`crate::mem`] probe is registered).
+    pub alloc_count: u64,
 }
 
 /// A sink for structured trace events.
@@ -67,7 +73,15 @@ mod tests {
     fn null_collector_accepts_everything() {
         let c = NullCollector;
         let now = Instant::now();
-        c.record_span(SpanRecord { cat: "t", name: "x", label: None, start: now, end: now });
+        c.record_span(SpanRecord {
+            cat: "t",
+            name: "x",
+            label: None,
+            start: now,
+            end: now,
+            alloc_bytes: 0,
+            alloc_count: 0,
+        });
         c.count("n", 3);
         c.value("v", 17);
     }

@@ -38,9 +38,18 @@ impl Trace {
             );
         }
         for s in &self.spans {
-            let args = match &s.label {
-                Some(label) => format!(",\"args\":{{\"label\":{}}}", json::str_lit(label)),
-                None => String::new(),
+            let mut fields = Vec::new();
+            if let Some(label) = &s.label {
+                fields.push(format!("\"label\":{}", json::str_lit(label)));
+            }
+            if s.alloc_bytes > 0 || s.alloc_count > 0 {
+                fields.push(format!("\"alloc_bytes\":{}", s.alloc_bytes));
+                fields.push(format!("\"allocs\":{}", s.alloc_count));
+            }
+            let args = if fields.is_empty() {
+                String::new()
+            } else {
+                format!(",\"args\":{{{}}}", fields.join(","))
             };
             push(
                 &mut out,
@@ -110,10 +119,12 @@ impl Trace {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                "{}:{{\"count\":{},\"total_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
                 json::str_lit(&format!("{cat}/{name}")),
                 t.count,
-                t.total_ns
+                t.total_ns,
+                t.alloc_bytes,
+                t.alloc_count
             ));
         }
         out.push_str("}}");
@@ -153,6 +164,8 @@ mod tests {
             tid: 0,
             start_ns: 1500,
             dur_ns: 2500,
+            alloc_bytes: 4096,
+            alloc_count: 12,
         });
         t.spans.push(Span {
             cat: "mor",
@@ -161,6 +174,8 @@ mod tests {
             tid: 1,
             start_ns: 4000,
             dur_ns: 1000,
+            alloc_bytes: 0,
+            alloc_count: 0,
         });
         t.counters.insert("engine.cache.hit".into(), 7);
         let mut h = Histogram::default();
@@ -180,7 +195,7 @@ mod tests {
         assert!(doc.contains("\"ph\":\"C\""));
         assert!(doc.contains("\"ts\":1.500"));
         assert!(doc.contains("\"dur\":2.500"));
-        assert!(doc.contains("\"label\":\"bus0_1\""));
+        assert!(doc.contains("\"label\":\"bus0_1\",\"alloc_bytes\":4096,\"allocs\":12"));
         // Balanced braces/brackets — a cheap well-formedness check.
         let braces = doc.matches('{').count();
         assert_eq!(braces, doc.matches('}').count());
@@ -194,7 +209,12 @@ mod tests {
         assert!(
             doc.contains("\"mor.order\":{\"count\":2,\"sum\":8,\"min\":3,\"max\":5,\"mean\":4.0}")
         );
-        assert!(doc.contains("\"xtalk/prune\":{\"count\":1,\"total_ns\":2500}"));
+        assert!(doc.contains(
+            "\"xtalk/prune\":{\"count\":1,\"total_ns\":2500,\"alloc_bytes\":4096,\"allocs\":12}"
+        ));
+        assert!(doc.contains(
+            "\"mor/reduce\":{\"count\":1,\"total_ns\":1000,\"alloc_bytes\":0,\"allocs\":0}"
+        ));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 pub mod collector;
 pub mod export;
 pub mod json;
+pub mod mem;
 pub mod session;
 pub mod trace;
 
@@ -70,17 +71,23 @@ struct ActiveSpan {
     name: &'static str,
     label: Option<String>,
     start: Instant,
+    /// This thread's cumulative `(bytes, allocs)` at span open, from the
+    /// registered [`mem`] probe (zeros when none is registered).
+    mem0: (u64, u64),
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(active) = self.0.take() {
+            let (bytes, allocs) = mem::sample();
             active.collector.record_span(SpanRecord {
                 cat: active.cat,
                 name: active.name,
                 label: active.label,
                 start: active.start,
                 end: Instant::now(),
+                alloc_bytes: bytes.saturating_sub(active.mem0.0),
+                alloc_count: allocs.saturating_sub(active.mem0.1),
             });
         }
     }
@@ -113,7 +120,7 @@ fn open_span(
     label: impl FnOnce() -> Option<String>,
 ) -> SpanGuard {
     SpanGuard(session::with_collector(|c| (Arc::clone(c), label())).map(|(collector, label)| {
-        ActiveSpan { collector, cat, name, label, start: Instant::now() }
+        ActiveSpan { collector, cat, name, label, start: Instant::now(), mem0: mem::sample() }
     }))
 }
 

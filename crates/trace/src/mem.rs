@@ -1,0 +1,59 @@
+//! The span↔allocator bridge: a pluggable memory probe sampled at span
+//! open and close, so every span carries the allocation delta of its
+//! scope.
+//!
+//! `pcv-trace` stays dependency-free: it does not know where the numbers
+//! come from. An instrumented allocator (see `pcv-obs`) registers a probe
+//! returning this thread's cumulative `(bytes_allocated, allocations)`;
+//! spans difference the two samples. With no probe registered — the
+//! default — span creation pays one lock-free [`std::sync::OnceLock`]
+//! read and records zeros.
+
+use std::sync::OnceLock;
+
+/// A memory probe: this thread's cumulative, monotonically increasing
+/// `(bytes_allocated, allocation_count)`. Must be cheap and infallible —
+/// it runs inside every span when registered.
+pub type MemProbe = fn() -> (u64, u64);
+
+static PROBE: OnceLock<MemProbe> = OnceLock::new();
+
+/// Register the process-wide memory probe. First registration wins;
+/// later calls are ignored (the probe is sampled from every thread, so
+/// swapping it mid-run would make deltas meaningless).
+pub fn set_probe(probe: MemProbe) {
+    let _ = PROBE.set(probe);
+}
+
+/// Sample the registered probe, or `(0, 0)` when none is registered.
+#[inline]
+pub fn sample() -> (u64, u64) {
+    match PROBE.get() {
+        Some(probe) => probe(),
+        None => (0, 0),
+    }
+}
+
+/// `true` when a probe is registered.
+pub fn probed() -> bool {
+    PROBE.get().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_probe_samples_zero_or_first_registration_wins() {
+        // Tests share the process-wide OnceLock, so exercise both halves
+        // in one test: before any registration the sample is zero; after
+        // the first `set_probe`, later registrations cannot replace it.
+        if !probed() {
+            assert_eq!(sample(), (0, 0));
+        }
+        set_probe(|| (7, 3));
+        let first = sample();
+        set_probe(|| (1_000_000, 1_000_000));
+        assert_eq!(sample(), first, "second registration must be ignored");
+    }
+}

@@ -119,6 +119,8 @@ enum Event {
         label: Option<String>,
         start_ns: u64,
         dur_ns: u64,
+        alloc_bytes: u64,
+        alloc_count: u64,
     },
     Count {
         name: &'static str,
@@ -198,9 +200,24 @@ impl BufferCollector {
         for buf in buffers.iter() {
             for ev in lock(&buf.events).drain(..) {
                 match ev {
-                    Event::Span { cat, name, label, start_ns, dur_ns } => {
-                        spans.push(Span { cat, name, label, tid: buf.tid, start_ns, dur_ns })
-                    }
+                    Event::Span {
+                        cat,
+                        name,
+                        label,
+                        start_ns,
+                        dur_ns,
+                        alloc_bytes,
+                        alloc_count,
+                    } => spans.push(Span {
+                        cat,
+                        name,
+                        label,
+                        tid: buf.tid,
+                        start_ns,
+                        dur_ns,
+                        alloc_bytes,
+                        alloc_count,
+                    }),
                     Event::Count { name, delta } => {
                         *counters.entry(name.to_owned()).or_insert(0) += delta;
                     }
@@ -229,6 +246,8 @@ impl Collector for BufferCollector {
                 label: rec.label,
                 start_ns,
                 dur_ns,
+                alloc_bytes: rec.alloc_bytes,
+                alloc_count: rec.alloc_count,
             })
         });
     }

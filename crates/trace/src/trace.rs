@@ -17,6 +17,11 @@ pub struct Span {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Bytes allocated on the recording thread while this span was open
+    /// (0 unless an allocator probe is registered; see `pcv_trace::mem`).
+    pub alloc_bytes: u64,
+    /// Allocations made on the recording thread while this span was open.
+    pub alloc_count: u64,
 }
 
 /// A power-of-two histogram of `u64` samples.
@@ -77,6 +82,10 @@ pub struct SpanTotal {
     pub count: u64,
     /// Summed duration across all of them (nanoseconds).
     pub total_ns: u64,
+    /// Summed bytes allocated inside them (0 without an allocator probe).
+    pub alloc_bytes: u64,
+    /// Summed allocation count inside them.
+    pub alloc_count: u64,
 }
 
 /// The deterministic merged output of a tracing session.
@@ -103,6 +112,8 @@ impl Trace {
             let t = totals.entry((s.cat, s.name)).or_default();
             t.count += 1;
             t.total_ns += s.dur_ns;
+            t.alloc_bytes += s.alloc_bytes;
+            t.alloc_count += s.alloc_count;
         }
         totals
     }
@@ -145,19 +156,29 @@ mod tests {
 
     #[test]
     fn span_totals_aggregate_by_kind() {
-        let mk = |name: &'static str, dur: u64| Span {
+        let mk = |name: &'static str, dur: u64, bytes: u64| Span {
             cat: "t",
             name,
             label: None,
             tid: 0,
             start_ns: 0,
             dur_ns: dur,
+            alloc_bytes: bytes,
+            alloc_count: bytes / 8,
         };
-        let trace =
-            Trace { spans: vec![mk("a", 10), mk("b", 5), mk("a", 7)], ..Default::default() };
+        let trace = Trace {
+            spans: vec![mk("a", 10, 64), mk("b", 5, 16), mk("a", 7, 32)],
+            ..Default::default()
+        };
         let totals = trace.span_totals();
-        assert_eq!(totals[&("t", "a")], SpanTotal { count: 2, total_ns: 17 });
-        assert_eq!(totals[&("t", "b")], SpanTotal { count: 1, total_ns: 5 });
+        assert_eq!(
+            totals[&("t", "a")],
+            SpanTotal { count: 2, total_ns: 17, alloc_bytes: 96, alloc_count: 12 }
+        );
+        assert_eq!(
+            totals[&("t", "b")],
+            SpanTotal { count: 1, total_ns: 5, alloc_bytes: 16, alloc_count: 2 }
+        );
         assert_eq!(trace.end_ns(), 10);
     }
 }

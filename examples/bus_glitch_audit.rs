@@ -7,20 +7,25 @@
 //! wires at deep-submicron pitch where coupling dominates capacitance.
 //!
 //! Run with: `cargo run --release -p pcv-bench --example bus_glitch_audit`
+//! (pass `--quiet` to suppress the live stderr status line)
 
 use pcv_designs::structures::bundle;
 use pcv_designs::Technology;
 use pcv_engine::{Engine, EngineConfig};
 use pcv_netlist::PNetId;
+use pcv_obs::StderrStatusLine;
 use pcv_xtalk::prune::PruneConfig;
 use pcv_xtalk::{verify_chip, AnalysisContext, AnalysisOptions, XtalkError};
+use std::sync::Arc;
 
 fn main() -> Result<(), XtalkError> {
+    let quiet = std::env::args().any(|a| a == "--quiet");
     let tech = Technology::c025();
     let engine = Engine::new(EngineConfig {
         workers: 0, // one per core
         analysis: AnalysisOptions::default(),
         trace: true,
+        sink: Some(Arc::new(StderrStatusLine::auto(quiet))),
         ..Default::default()
     });
 

@@ -5,6 +5,11 @@
 //! an incremental result cache (rerun the example to see warm-cache hits).
 //!
 //! Run with: `cargo run --release -p pcv-bench --example dsp_chip_signoff`
+//!
+//! While the engine runs, a live status line on stderr shows clusters
+//! done, throughput, ETA, cache hits and degradations. Pass `--quiet` (or
+//! set `PCV_NO_PROGRESS`) to suppress it; it also disappears on its own
+//! when stderr is not a terminal.
 
 use pcv_bench::charlib_for;
 use pcv_cells::library::CellLibrary;
@@ -12,11 +17,14 @@ use pcv_designs::dsp::{generate, DspConfig};
 use pcv_designs::Technology;
 use pcv_engine::{Engine, EngineConfig};
 use pcv_netlist::PNetId;
+use pcv_obs::StderrStatusLine;
 use pcv_xtalk::drivers::DriverModelKind;
 use pcv_xtalk::prune::PruneConfig;
 use pcv_xtalk::{verify_chip, AnalysisContext, AnalysisOptions, XtalkError};
+use std::sync::Arc;
 
 fn main() -> Result<(), XtalkError> {
+    let quiet = std::env::args().any(|a| a == "--quiet");
     let tech = Technology::c025();
     let lib = CellLibrary::standard_025();
 
@@ -62,13 +70,20 @@ fn main() -> Result<(), XtalkError> {
     // so the run also drops a Chrome trace + profile next to the cache.
     let cache =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/dsp_signoff.cache");
+    let status = Arc::new(StderrStatusLine::auto(quiet));
     let engine = Engine::new(EngineConfig {
         workers: 0, // one per core
         cache_path: Some(cache.clone()),
         trace: true,
+        sink: Some(status.clone()),
         ..Default::default()
     });
     let report = engine.verify(&ctx, &victims)?;
+    let progress = status.snapshot();
+    println!(
+        "live monitor saw {}/{} clusters, {} cached, {} degraded",
+        progress.done, progress.total, progress.cached, progress.degraded
+    );
 
     print!("{}", report.to_text());
     // A healthy chip degrades nothing; any entry here names the victim,

@@ -87,9 +87,9 @@ fn every_faulted_cluster_is_verified_or_degraded_with_a_recorded_rung() {
         assert!(faulted.contains(&d.name.as_str()), "{} degraded without a fault", d.name);
         assert!(!d.attempts.is_empty(), "{} has no recorded attempts", d.name);
         assert!(d.recovered > RecoveryRung::Baseline);
-        for (rung, reason) in &d.attempts {
-            assert!(*rung < d.recovered, "attempts precede the standing rung");
-            assert!(!reason.is_empty(), "every attempt records a reason");
+        for a in &d.attempts {
+            assert!(a.rung < d.recovered, "attempts precede the standing rung");
+            assert!(!a.reason.is_empty(), "every attempt records a reason");
         }
     }
 
