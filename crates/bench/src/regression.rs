@@ -137,13 +137,15 @@ impl BenchReport {
         })
     }
 
-    /// Write the report to `path`.
+    /// Write the report to `path` atomically (write-temp + fsync +
+    /// rename), so a crash mid-write can never tear a baseline that the
+    /// regression gate would later misread.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        pcv_engine::fs::Fs::real().write_atomic(path, self.to_json().as_bytes())
     }
 
     /// Read and parse a report from `path`.

@@ -6,18 +6,27 @@
 //! could change the verdict — a coupling capacitor, wire RC, a driver cell,
 //! an analysis knob — invalidates exactly the entries it touches.
 //!
-//! The store is a line-oriented text file (`pcv-engine-cache v1`) with
+//! The store is a line-oriented text file (`pcv-engine-cache v2`) with
 //! peaks serialized as `f64` bit patterns, so a cache round-trip is
-//! bit-exact. Loading is tolerant: a missing file is an empty cache and
-//! malformed lines are skipped, so a corrupt store degrades to cache
-//! misses, never to wrong verdicts.
+//! bit-exact. Since v2 the store is crash-safe end to end: every entry
+//! line carries a CRC32 of its fields, the file ends in a `#footer` line
+//! (entry count + whole-body CRC), and saves go through the atomic
+//! write-temp + fsync + rename path in [`crate::fs`]. Loading is
+//! tolerant: a missing file is an empty cache, a v1 (or foreign) header
+//! loads as empty, CRC-damaged lines are skipped and counted, and a
+//! missing or mismatching footer flags the load as torn while the intact
+//! lines still count — so a corrupt store degrades to cache misses, never
+//! to wrong verdicts.
 
+use crate::fs::{crc32, Fs};
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::Path;
 
 /// Header line of the store format.
-const HEADER: &str = "pcv-engine-cache v1";
+const HEADER: &str = "pcv-engine-cache v2";
+
+/// Prefix of the file-level integrity footer.
+const FOOTER_PREFIX: &str = "#footer ";
 
 /// Cached receiver verdict (mirrors [`pcv_xtalk::ReceiverVerdict`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +50,19 @@ pub struct CacheEntry {
     pub fall_bits: u64,
     /// Receiver check outcome, when one ran.
     pub receiver: Option<CachedReceiver>,
+}
+
+/// What a cache load found on disk — surfaced so callers (and chaos
+/// drills) can tell a clean store from a damaged-but-recovered one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLoadStats {
+    /// Entries that loaded intact.
+    pub entries: usize,
+    /// Lines dropped for CRC or parse damage.
+    pub skipped: usize,
+    /// The integrity footer was missing, unparseable, or did not match —
+    /// the signature of a torn (interrupted) write.
+    pub torn: bool,
 }
 
 /// In-memory cache: victim net name → entry.
@@ -76,36 +98,83 @@ impl ResultCache {
         self.entries.insert(name, entry);
     }
 
-    /// Load a cache from disk. A missing file yields an empty cache;
-    /// malformed lines are skipped.
+    /// Load a cache from disk ([`ResultCache::load_with`] on the real
+    /// filesystem, discarding the load statistics).
     pub fn load(path: &Path) -> Self {
-        let mut cache = Self::new();
-        let Ok(text) = std::fs::read_to_string(path) else {
-            return cache;
-        };
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return cache;
-        }
-        for line in lines {
-            if let Some((name, entry)) = parse_line(line) {
-                cache.insert(name, entry);
-            }
-        }
-        cache
+        Self::load_with(&Fs::real(), path).0
     }
 
-    /// Write the cache to disk, sorted by victim name so the file is
-    /// stable across runs. Errors are returned for the caller to surface
-    /// or ignore — a failed save only costs future hits.
+    /// Load a cache through `fs`, reporting what was found. A missing
+    /// file or a non-v2 header yields an empty cache; damaged lines are
+    /// skipped and counted.
+    pub fn load_with(fs: &Fs, path: &Path) -> (Self, CacheLoadStats) {
+        let mut cache = Self::new();
+        let mut stats = CacheLoadStats::default();
+        let Ok(text) = fs.read_to_string(path) else {
+            return (cache, stats);
+        };
+        let mut lines: Vec<&str> = text.lines().collect();
+        if lines.first() != Some(&HEADER) {
+            return (cache, stats);
+        }
+        let footer = if lines.last().is_some_and(|l| l.starts_with(FOOTER_PREFIX)) {
+            lines.pop()
+        } else {
+            None
+        };
+        let entry_lines = &lines[1..];
+        for line in entry_lines {
+            match parse_line(line) {
+                Some((name, entry)) => cache.insert(name, entry),
+                None => stats.skipped += 1,
+            }
+        }
+        stats.entries = cache.len();
+        stats.torn = match footer.and_then(parse_footer) {
+            Some((count, crc)) => {
+                // Re-derive the body exactly as it was written; an intact
+                // file reproduces it byte for byte.
+                let mut body = String::with_capacity(HEADER.len() + 1 + text.len());
+                body.push_str(HEADER);
+                body.push('\n');
+                for line in entry_lines {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                count != entry_lines.len() || crc32(body.as_bytes()) != crc
+            }
+            None => true,
+        };
+        (cache, stats)
+    }
+
+    /// Write the cache to disk ([`ResultCache::save_with`] on the real
+    /// filesystem).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures — a failed save only costs future hits.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        self.save_with(&Fs::real(), path)
+    }
+
+    /// Write the cache through `fs`: CRC per entry line, an integrity
+    /// footer, and an atomic replace of the destination — a reader never
+    /// observes a half-written store. Entries are sorted by victim name so
+    /// the file is stable across runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures — a failed save leaves any previous store
+    /// intact and only costs future hits.
+    pub fn save_with(&self, fs: &Fs, path: &Path) -> std::io::Result<()> {
         let mut names: Vec<&String> = self.entries.keys().collect();
         names.sort();
-        let mut out = String::with_capacity(64 * (1 + self.entries.len()));
+        let mut out = String::with_capacity(80 * (2 + self.entries.len()));
         out.push_str(HEADER);
         out.push('\n');
-        for name in names {
-            let e = &self.entries[name];
+        for name in &names {
+            let e = &self.entries[*name];
             let (cell, peak, prop) = match &e.receiver {
                 Some(r) => (
                     r.cell.as_str(),
@@ -114,19 +183,37 @@ impl ResultCache {
                 ),
                 None => ("-", "-".to_owned(), "-"),
             };
-            out.push_str(&format!(
-                "{name}\t{:016x}\t{:016x}\t{:016x}\t{cell}\t{peak}\t{prop}\n",
+            let body = format!(
+                "{name}\t{:016x}\t{:016x}\t{:016x}\t{cell}\t{peak}\t{prop}",
                 e.fingerprint, e.rise_bits, e.fall_bits
-            ));
+            );
+            out.push_str(&format!("{body}\t{:08x}\n", crc32(body.as_bytes())));
         }
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(out.as_bytes())
+        out.push_str(&format!("{FOOTER_PREFIX}{} {:08x}\n", names.len(), crc32(out.as_bytes())));
+        fs.write_atomic(path, out.as_bytes())
     }
 }
 
-/// Parse one store line; `None` for malformed input.
+/// Parse the footer line: `#footer <count> <crc32 hex>`.
+fn parse_footer(line: &str) -> Option<(usize, u32)> {
+    let mut f = line.strip_prefix(FOOTER_PREFIX)?.split(' ');
+    let count = f.next()?.parse().ok()?;
+    let crc = u32::from_str_radix(f.next()?, 16).ok()?;
+    if f.next().is_some() {
+        return None;
+    }
+    Some((count, crc))
+}
+
+/// Parse one store line; `None` for malformed or CRC-damaged input.
 fn parse_line(line: &str) -> Option<(String, CacheEntry)> {
-    let mut f = line.split('\t');
+    // The trailing field is the CRC of everything before it.
+    let (body, crc_hex) = line.rsplit_once('\t')?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(body.as_bytes()) != crc {
+        return None;
+    }
+    let mut f = body.split('\t');
     let name = f.next()?;
     if name.is_empty() {
         return None;
@@ -171,6 +258,26 @@ fn parse_line(line: &str) -> Option<(String, CacheEntry)> {
 mod tests {
     use super::*;
 
+    /// A valid v2 entry line for hand-built store fixtures.
+    fn line(body: &str) -> String {
+        format!("{body}\t{:08x}", crc32(body.as_bytes()))
+    }
+
+    /// A hand-built store with the given entry lines and a correct footer.
+    fn store(entry_lines: &[String]) -> String {
+        let mut out = format!("{HEADER}\n");
+        for l in entry_lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{FOOTER_PREFIX}{} {:08x}\n",
+            entry_lines.len(),
+            crc32(out.as_bytes())
+        ));
+        out
+    }
+
     fn sample() -> ResultCache {
         let mut c = ResultCache::new();
         c.insert(
@@ -199,14 +306,15 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_is_bit_exact() {
+    fn roundtrip_is_bit_exact_and_clean() {
         let dir = std::env::temp_dir().join("pcv-engine-cache-test-rt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store");
         let c = sample();
         c.save(&path).unwrap();
-        let back = ResultCache::load(&path);
+        let (back, stats) = ResultCache::load_with(&Fs::real(), &path);
         assert_eq!(back.len(), 2);
+        assert_eq!(stats, CacheLoadStats { entries: 2, skipped: 0, torn: false });
         assert_eq!(back.lookup("bus0_1", 0xdead_beef), c.lookup("bus0_1", 0xdead_beef));
         assert_eq!(back.lookup("acc_q3", 1), c.lookup("acc_q3", 1));
         std::fs::remove_dir_all(&dir).ok();
@@ -227,17 +335,26 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_skipped() {
-        let good = "w1\t0000000000000001\t0000000000000002\t0000000000000003\t-\t-\t-";
-        let text =
-            format!("{HEADER}\n{good}\nnot a line\nw2\tzz\t0\t0\t-\t-\t-\n\t1\t2\t3\t-\t-\t-\n");
+    fn malformed_and_crc_damaged_lines_are_skipped() {
+        let good = line("w1\t0000000000000001\t0000000000000002\t0000000000000003\t-\t-\t-");
+        // A valid body whose recorded CRC is wrong: one flipped store bit.
+        let bad_crc = format!("{}\tdeadbeef", "w9\t1\t2\t3\t-\t-\t-");
+        let text = store(&[
+            good,
+            "not a line".into(),
+            line("w2\tzz\t0\t0\t-\t-\t-"),
+            line("\t1\t2\t3\t-\t-\t-"),
+            bad_crc,
+        ]);
         let dir = std::env::temp_dir().join("pcv-engine-cache-test-bad");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store");
         std::fs::write(&path, text).unwrap();
-        let c = ResultCache::load(&path);
+        let (c, stats) = ResultCache::load_with(&Fs::real(), &path);
         assert_eq!(c.len(), 1);
         assert!(c.lookup("w1", 1).is_some());
+        assert_eq!(stats.skipped, 4);
+        assert!(!stats.torn, "the footer still matched the bytes on disk");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -246,13 +363,12 @@ mod tests {
         let nan = f64::NAN.to_bits();
         let inf = f64::INFINITY.to_bits();
         let fin = 0.25_f64.to_bits();
-        let text = format!(
-            "{HEADER}\n\
-             w1\t1\t{nan:016x}\t{fin:016x}\t-\t-\t-\n\
-             w2\t1\t{fin:016x}\t{inf:016x}\t-\t-\t-\n\
-             w3\t1\t{fin:016x}\t{fin:016x}\tINVX1\t{nan:016x}\t1\n\
-             w4\t1\t{fin:016x}\t{fin:016x}\t-\t-\t-\n"
-        );
+        let text = store(&[
+            line(&format!("w1\t1\t{nan:016x}\t{fin:016x}\t-\t-\t-")),
+            line(&format!("w2\t1\t{fin:016x}\t{inf:016x}\t-\t-\t-")),
+            line(&format!("w3\t1\t{fin:016x}\t{fin:016x}\tINVX1\t{nan:016x}\t1")),
+            line(&format!("w4\t1\t{fin:016x}\t{fin:016x}\t-\t-\t-")),
+        ]);
         let dir = std::env::temp_dir().join("pcv-engine-cache-test-nonfinite");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store");
@@ -267,12 +383,64 @@ mod tests {
     }
 
     #[test]
-    fn wrong_header_is_empty_cache() {
+    fn old_and_foreign_headers_load_as_empty() {
         let dir = std::env::temp_dir().join("pcv-engine-cache-test-hdr");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store");
+        // The v1 format had no line CRCs; it is versioned out, not parsed.
+        std::fs::write(&path, "pcv-engine-cache v1\nw1\t1\t2\t3\t-\t-\t-\n").unwrap();
+        assert!(ResultCache::load(&path).is_empty());
         std::fs::write(&path, "pcv-engine-cache v999\nw1\t1\t2\t3\t-\t-\t-\n").unwrap();
         assert!(ResultCache::load(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_store_is_torn_but_intact_lines_survive() {
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        sample().save(&path).unwrap();
+        // Chop the file mid-way: the footer (and part of a line) is lost.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let (c, stats) = ResultCache::load_with(&Fs::real(), &path);
+        assert!(stats.torn, "a chopped store must read as torn");
+        assert!(c.len() < 2, "the damaged tail cannot load fully");
+        for (name, entry) in &c.entries {
+            assert_eq!(Some(entry), sample().entries.get(name), "survivors are intact");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn footer_count_mismatch_reads_as_torn() {
+        let good = line("w1\t1\t2\t3\t-\t-\t-");
+        let mut text = store(std::slice::from_ref(&good));
+        // Claim two entries where one exists.
+        text = text.replace(&format!("{FOOTER_PREFIX}1 "), &format!("{FOOTER_PREFIX}2 "));
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-count");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        std::fs::write(&path, text).unwrap();
+        let (c, stats) = ResultCache::load_with(&Fs::real(), &path);
+        assert_eq!(c.len(), 1, "the intact line still loads");
+        assert!(stats.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_short_write_is_detected_on_load() {
+        use crate::fs::{DiskFaultPlan, FsFaultKind};
+        let dir = std::env::temp_dir().join("pcv-engine-cache-test-chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        let mut plan = DiskFaultPlan::new();
+        plan.fail_times("store", FsFaultKind::ShortWrite, 1);
+        let fs = Fs::with_faults(plan);
+        sample().save_with(&fs, &path).unwrap();
+        let (_, stats) = ResultCache::load_with(&fs, &path);
+        assert!(stats.torn, "the torn save must not read back clean");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

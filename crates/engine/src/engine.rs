@@ -2,6 +2,9 @@
 //! work-stealing scheduler, and merge a deterministic report.
 
 use crate::cache::{CacheEntry, CachedReceiver, ResultCache};
+use crate::durable::{
+    DurableConfig, Journal, JournalEntry, LockError, ReplayAttempt, ReplayDegradation, RunLock,
+};
 use crate::fingerprint::{chip_slice_fingerprint, cluster_fingerprint, config_hash};
 use crate::recovery::{
     route, Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
@@ -20,6 +23,7 @@ use pcv_xtalk::{
     analyze_glitch, check_receiver_propagation, AnalysisContext, AnalysisOptions, ChipReport,
     EngineKind, GlitchResult, NetVerdict, ReceiverVerdict, Severity, XtalkError,
 };
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -63,6 +67,10 @@ pub struct EngineConfig {
     /// to the cache file (`<cache>.ledger.jsonl`). Only takes effect when
     /// `cache_path` is set; best-effort, observational only.
     pub ledger: bool,
+    /// Durability knobs ([`DurableConfig`]): checkpoint journal, run lock,
+    /// cooperative stop, and the (fault-injectable) filesystem handle all
+    /// persisted artifacts go through.
+    pub durable: DurableConfig,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -79,6 +87,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("recovery", &self.recovery)
             .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
             .field("ledger", &self.ledger)
+            .field("durable", &self.durable)
             .finish()
     }
 }
@@ -97,6 +106,7 @@ impl Default for EngineConfig {
             recovery: RecoveryConfig::default(),
             sink: None,
             ledger: true,
+            durable: DurableConfig::default(),
         }
     }
 }
@@ -120,6 +130,8 @@ struct JobOk {
     verdict: NetVerdict,
     cluster: Cluster,
     cached: bool,
+    /// The verdict was adopted from the checkpoint journal (resume path).
+    replayed: bool,
     entry: Option<CacheEntry>,
     degradation: Option<Degradation>,
     prune: Duration,
@@ -250,6 +262,40 @@ impl Engine {
         ctx: &AnalysisContext<'_>,
         victims: &[PNetId],
     ) -> Result<EngineReport, XtalkError> {
+        self.run(ctx, victims, false)
+    }
+
+    /// [`Engine::verify`], but first replay the checkpoint journal a
+    /// previous (interrupted or killed) run left next to the cache:
+    /// journaled verdicts whose cluster fingerprint still matches the
+    /// current netlist + configuration are adopted bit for bit, and only
+    /// the missing or stale clusters are recomputed. The merged report —
+    /// and in particular [`EngineReport::signoff_json`] — is
+    /// byte-identical to an uninterrupted [`Engine::verify`] run.
+    ///
+    /// With no journal on disk (or a journal from a different config,
+    /// chip slice, or with journaling disabled), this is exactly
+    /// [`Engine::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::verify`]. Journal damage is never an
+    /// error: corrupt or torn records are skipped and their clusters
+    /// recomputed.
+    pub fn resume(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        victims: &[PNetId],
+    ) -> Result<EngineReport, XtalkError> {
+        self.run(ctx, victims, true)
+    }
+
+    fn run(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        victims: &[PNetId],
+        resume: bool,
+    ) -> Result<EngineReport, XtalkError> {
         let cfg = &self.config;
         if cfg.warn_frac > cfg.fail_frac {
             return Err(XtalkError::InvalidConfig {
@@ -281,15 +327,6 @@ impl Engine {
         };
         emit(EngineEvent::RunStarted { victims: victims.len(), workers });
 
-        let cache = {
-            let _span = pcv_trace::span("engine", "cache_load");
-            match cfg.cache_path.as_deref() {
-                Some(path) => ResultCache::load(path),
-                None => ResultCache::new(),
-            }
-        };
-        // One union-find for the whole run instead of one per victim.
-        let component_sizes = coupling_component_sizes(ctx.db);
         let chash = config_hash(
             ctx,
             &cfg.prune,
@@ -298,6 +335,102 @@ impl Engine {
             cfg.fail_frac,
             cfg.check_receivers,
         );
+        let chip_fp = chip_slice_fingerprint(ctx, victims);
+        let fs = cfg.durable.fs.clone();
+
+        // Advisory run lock: two concurrent runs over one cache directory
+        // would interleave journal appends and race the cache replace.
+        // Held (RAII) until this function returns.
+        let _lock = match cfg.cache_path.as_deref() {
+            Some(path) if cfg.durable.lock => {
+                match RunLock::acquire(&RunLock::path_for(path), chash) {
+                    Ok(lock) => Some(lock),
+                    Err(LockError::Held { pid }) => {
+                        return Err(XtalkError::Busy {
+                            path: RunLock::path_for(path).display().to_string(),
+                            pid,
+                        });
+                    }
+                    // Advisory locking is best-effort: an unusable lock
+                    // file must not block verification.
+                    Err(LockError::Io(_)) => None,
+                }
+            }
+            _ => None,
+        };
+
+        let cache = {
+            let _span = pcv_trace::span("engine", "cache_load");
+            match cfg.cache_path.as_deref() {
+                Some(path) => ResultCache::load_with(&fs, path).0,
+                None => ResultCache::new(),
+            }
+        };
+
+        // Checkpoint journal: on resume, adopt whatever a previous run of
+        // the same config + chip slice checkpointed; otherwise (or when
+        // the header is stale) start fresh. All best-effort — a run whose
+        // journal cannot be written is still correct, just not resumable.
+        let mut replay: HashMap<String, JournalEntry> = HashMap::new();
+        let journal_handle: Option<Journal> = match cfg.cache_path.as_deref() {
+            Some(path) if cfg.durable.journal => {
+                let jpath = Journal::path_for(path);
+                let mut resumed = false;
+                if resume {
+                    let load = Journal::load(&fs, &jpath);
+                    if load.header == Some((chash, chip_fp)) {
+                        for e in load.entries {
+                            replay.insert(e.name.clone(), e);
+                        }
+                        resumed = true;
+                    }
+                }
+                if resumed {
+                    emit(EngineEvent::RunResumed { replayable: replay.len() });
+                    Some(Journal::append_to(&fs, &jpath))
+                } else {
+                    Journal::begin(&fs, &jpath, chash, chip_fp).ok()
+                }
+            }
+            _ => None,
+        };
+        let journal = journal_handle.as_ref();
+        // Serialize checkpoint appends across worker threads so records
+        // can never interleave mid-line.
+        let journal_mutex = std::sync::Mutex::new(());
+        let checkpoint = |ok: &JobOk, fp: u64| {
+            let Some(j) = journal else {
+                return;
+            };
+            let entry = JournalEntry {
+                name: ok.verdict.name.clone(),
+                fingerprint: fp,
+                rise_bits: ok.verdict.rise_peak.to_bits(),
+                fall_bits: ok.verdict.fall_peak.to_bits(),
+                receiver: ok.verdict.receiver.as_ref().map(|r| CachedReceiver {
+                    cell: r.cell.clone(),
+                    output_peak_bits: r.output_peak.to_bits(),
+                    propagates: r.propagates,
+                }),
+                degraded: ok.degradation.as_ref().map(|d| ReplayDegradation {
+                    recovered: d.recovered,
+                    attempts: d
+                        .attempts
+                        .iter()
+                        .map(|a| ReplayAttempt { rung: a.rung, reason: a.reason.clone() })
+                        .collect(),
+                }),
+            };
+            let _guard = journal_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Best-effort: a failed append costs resume coverage for this
+            // cluster, nothing else.
+            let _ = j.record(&entry);
+        };
+
+        let stop = cfg.durable.stop.as_ref();
+
+        // One union-find for the whole run instead of one per victim.
+        let component_sizes = coupling_component_sizes(ctx.db);
 
         if sink.is_some() {
             for &vic in victims {
@@ -305,8 +438,16 @@ impl Engine {
             }
         }
 
-        let job = |i: usize| -> Result<JobOk, XtalkError> {
+        let job = |i: usize| -> Result<Option<JobOk>, XtalkError> {
             let vic = victims[i];
+            // Graceful drain: once a stop is requested, queued clusters
+            // are skipped (in-flight ones run to completion so their
+            // verdicts stay deterministic and get checkpointed).
+            if stop.is_some_and(|s| s.is_stopped()) {
+                pcv_trace::count("engine.durable.skipped", 1);
+                emit(EngineEvent::ClusterSkipped { name: ctx.db.net(vic).name().to_owned() });
+                return Ok(None);
+            }
             let _job_span = pcv_trace::span_labeled("engine", "cluster_job", || {
                 ctx.db.net(vic).name().to_owned()
             });
@@ -318,6 +459,72 @@ impl Engine {
             let name = ctx.db.net(vic).name().to_owned();
 
             let fp = cluster_fingerprint(ctx, &cluster, chash);
+            // Resume path: adopt a journaled verdict when its fingerprint
+            // still matches the cluster we just pruned — exact f64 bits,
+            // exact degradation trail, so the merged report cannot drift.
+            if let Some(e) = replay.get(&name).filter(|e| e.fingerprint == fp) {
+                pcv_trace::count("engine.journal.replays", 1);
+                emit(EngineEvent::ClusterReplayed { name: name.clone() });
+                let rise = f64::from_bits(e.rise_bits);
+                let fall = f64::from_bits(e.fall_bits);
+                let (worst_frac, severity) =
+                    classify(rise, fall, cfg.analysis.vdd, cfg.warn_frac, cfg.fail_frac);
+                let receiver = e.receiver.as_ref().map(|r| ReceiverVerdict {
+                    cell: r.cell.clone(),
+                    output_peak: f64::from_bits(r.output_peak_bits),
+                    propagates: r.propagates,
+                });
+                let degradation = e.degraded.as_ref().map(|d| Degradation {
+                    net: vic,
+                    name: name.clone(),
+                    attempts: d
+                        .attempts
+                        .iter()
+                        .map(|a| Attempt {
+                            rung: a.rung,
+                            reason: a.reason.clone(),
+                            elapsed: Duration::ZERO,
+                        })
+                        .collect(),
+                    recovered: d.recovered,
+                });
+                // Replayed healthy verdicts flow into the cache save at
+                // the end of this run (the interrupted run never saved
+                // them); degraded ones stay uncached as always.
+                let entry = degradation.is_none().then(|| CacheEntry {
+                    fingerprint: fp,
+                    rise_bits: e.rise_bits,
+                    fall_bits: e.fall_bits,
+                    receiver: e.receiver.clone(),
+                });
+                let verdict = NetVerdict {
+                    net: vic,
+                    name,
+                    rise_peak: rise,
+                    fall_peak: fall,
+                    worst_frac,
+                    severity,
+                    cluster_size: cluster.size(),
+                    neighbors_before: cluster.neighbors_before,
+                    receiver,
+                };
+                emit(EngineEvent::ClusterFinished {
+                    name: verdict.name.clone(),
+                    cached: false,
+                    elapsed: job_start.elapsed(),
+                });
+                return Ok(Some(JobOk {
+                    verdict,
+                    cluster,
+                    cached: false,
+                    replayed: true,
+                    entry,
+                    degradation,
+                    prune,
+                    analysis: Duration::ZERO,
+                    receiver: Duration::ZERO,
+                }));
+            }
             if let Some(e) = cache.lookup(&name, fp) {
                 pcv_trace::count("engine.cache.hits", 1);
                 emit(EngineEvent::CacheHit { name: name.clone() });
@@ -346,16 +553,17 @@ impl Engine {
                     cached: true,
                     elapsed: job_start.elapsed(),
                 });
-                return Ok(JobOk {
+                return Ok(Some(JobOk {
                     verdict,
                     cluster,
                     cached: true,
+                    replayed: false,
                     entry: None,
                     degradation: None,
                     prune,
                     analysis: Duration::ZERO,
                     receiver: Duration::ZERO,
-                });
+                }));
             }
             pcv_trace::count("engine.cache.misses", 1);
             emit(EngineEvent::CacheMiss { name: name.clone() });
@@ -371,12 +579,13 @@ impl Engine {
                 }
                 let ok = self.run_attempt(ctx, &cluster, &name, &opts)?;
                 let out = self.assemble(vic, cluster, &name, fp, ok, None, prune);
+                checkpoint(&out, fp);
                 emit(EngineEvent::ClusterFinished {
                     name: name.clone(),
                     cached: false,
                     elapsed: job_start.elapsed(),
                 });
-                return Ok(out);
+                return Ok(Some(out));
             }
 
             // The recovery ladder: walk rungs until an attempt succeeds;
@@ -459,12 +668,13 @@ impl Engine {
                 Degradation { net: vic, name: name.clone(), attempts, recovered }
             });
             let out = self.assemble(vic, cluster, &name, fp, ok, degradation, prune);
+            checkpoint(&out, fp);
             emit(EngineEvent::ClusterFinished {
                 name: name.clone(),
                 cached: false,
                 elapsed: job_start.elapsed(),
             });
-            Ok(out)
+            Ok(Some(out))
         };
 
         let (results, run_stats) = scheduler::run_with_idle(workers, victims.len(), job, |w| {
@@ -482,17 +692,26 @@ impl Engine {
         let mut degradations: Vec<Degradation> = Vec::new();
         let mut fresh: Vec<(String, CacheEntry)> = Vec::new();
         let (mut hits, mut misses) = (0usize, 0usize);
+        let (mut journal_hits, mut skipped) = (0usize, 0usize);
         let (mut prune_total, mut analysis_total, mut receiver_total) =
             (Duration::ZERO, Duration::ZERO, Duration::ZERO);
         for (i, result) in results.into_iter().enumerate() {
             let flat = match result {
-                Ok(Ok(ok)) => Ok(ok),
+                Ok(Ok(Some(ok))) => Ok(ok),
+                Ok(Ok(None)) => {
+                    // Skipped after a stop request: no verdict, no error —
+                    // the cluster is simply left for the resume run.
+                    skipped += 1;
+                    continue;
+                }
                 Ok(Err(e)) => Err(e.to_string()),
                 Err(panic) => Err(format!("job panicked: {panic}")),
             };
             match flat {
                 Ok(ok) => {
-                    if ok.cached {
+                    if ok.replayed {
+                        journal_hits += 1;
+                    } else if ok.cached {
                         hits += 1;
                     } else {
                         misses += 1;
@@ -546,6 +765,12 @@ impl Engine {
         costs.sort_by_key(|c| std::cmp::Reverse(c.total()));
         drop(merge_span);
 
+        let interrupted = stop.is_some_and(|s| s.is_stopped());
+        if interrupted {
+            emit(EngineEvent::RunStopped { completed: victims.len() - skipped, skipped });
+        }
+
+        let mut cache_saved = false;
         if let Some(path) = cfg.cache_path.as_deref() {
             let _span = pcv_trace::span("engine", "cache_save");
             let mut updated = cache;
@@ -553,7 +778,15 @@ impl Engine {
                 updated.insert(name, entry);
             }
             // Best-effort: a failed save only costs future cache hits.
-            let _ = updated.save(path);
+            cache_saved = updated.save_with(&fs, path).is_ok();
+        }
+        // The journal has served its purpose only once every checkpointed
+        // verdict is durably in the cache *and* the run completed; an
+        // interrupted or save-failed run keeps it for the next resume.
+        if cache_saved && !interrupted {
+            if let Some(j) = journal {
+                let _ = j.discard();
+            }
         }
 
         let recovery_total: Duration = degradations.iter().map(Degradation::recovery_time).sum();
@@ -563,6 +796,8 @@ impl Engine {
             victims: victims.len(),
             cache_hits: hits,
             cache_misses: misses,
+            journal_hits,
+            skipped,
             degraded: degradations.len(),
             prune_time: prune_total,
             analysis_time: analysis_total,
@@ -584,7 +819,10 @@ impl Engine {
             if let Some(path) = cfg.cache_path.as_deref() {
                 let record = RunRecord {
                     config_fingerprint: chash,
-                    chip_fingerprint: chip_slice_fingerprint(ctx, victims),
+                    chip_fingerprint: chip_fp,
+                    outcome: if interrupted { "stopped".to_owned() } else { "complete".to_owned() },
+                    journal_hits,
+                    skipped,
                     victims: victims.len(),
                     workers,
                     host_parallelism: std::thread::available_parallelism()
@@ -606,8 +844,11 @@ impl Engine {
                 let mut os = path.as_os_str().to_owned();
                 os.push(".ledger.jsonl");
                 // Best-effort, like the cache save: a failed append only
-                // costs trajectory history.
-                let _ = record.append(std::path::Path::new(&os));
+                // costs trajectory history. Durable (fsync'd) so the
+                // "stopped, resumable" marker survives the kill that
+                // usually follows it.
+                let line = format!("{}\n", record.to_json());
+                let _ = fs.append_durable(std::path::Path::new(&os), line.as_bytes());
             }
         }
         let trace = session.map(|s| s.finish());
@@ -623,12 +864,13 @@ impl Engine {
             stats,
             clusters: costs,
             trace,
+            interrupted,
         };
         // Traced runs with a cache location drop their artifacts next to
         // the cache file (best-effort, like the cache save itself).
         if report.trace.is_some() {
             if let Some(path) = cfg.cache_path.as_deref() {
-                let _ = report.write_profile(path);
+                let _ = report.write_profile_with(&fs, path);
             }
         }
         Ok(report)
@@ -712,6 +954,7 @@ impl Engine {
             verdict,
             cluster,
             cached: false,
+            replayed: false,
             entry,
             degradation,
             prune,

@@ -33,6 +33,14 @@
 //! - **Observability** ([`report`]) — per-stage wall-times, cache
 //!   hit-rate, worker utilization and steal counts in every
 //!   [`EngineReport`].
+//! - **Durability** ([`durable`], [`fs`]) — every persisted artifact is
+//!   written atomically (write-temp + fsync + rename) with CRC-32
+//!   integrity framing; completed verdicts are checkpointed to a
+//!   write-ahead journal so a killed run resumes with
+//!   [`Engine::resume`] to a byte-identical sign-off; an advisory run
+//!   lock serializes writers; [`fs::DiskFaultPlan`] injects
+//!   deterministic disk faults (torn writes, ENOSPC, bit flips) for
+//!   chaos drills.
 //!
 //! # Example
 //!
@@ -67,15 +75,22 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod durable;
 pub mod engine;
 pub mod fingerprint;
+pub mod fs;
 pub mod recovery;
 pub mod report;
 pub mod scheduler;
 
-pub use cache::{CacheEntry, CachedReceiver, ResultCache};
+pub use cache::{CacheEntry, CacheLoadStats, CachedReceiver, ResultCache};
+pub use durable::{
+    DurableConfig, Journal, JournalEntry, JournalLoad, LockError, ReplayAttempt, ReplayDegradation,
+    RunLock, StopAfter, StopFlag,
+};
 pub use engine::{Engine, EngineConfig};
 pub use fingerprint::{chip_slice_fingerprint, cluster_fingerprint, config_hash, Fnv1a};
+pub use fs::{crc32, DiskFaultPlan, Fs, FsFaultKind};
 pub use recovery::{
     Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
 };

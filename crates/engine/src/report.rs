@@ -71,6 +71,11 @@ pub struct EngineStats {
     pub cache_hits: usize,
     /// Jobs that ran the full analysis.
     pub cache_misses: usize,
+    /// Jobs whose verdict was adopted from the checkpoint journal of an
+    /// interrupted run ([`Engine::resume`](crate::Engine::resume)).
+    pub journal_hits: usize,
+    /// Jobs skipped because a graceful stop was requested mid-run.
+    pub skipped: usize,
     /// Jobs whose verdict came from a recovery rung above baseline.
     pub degraded: usize,
     /// Summed time in pruning across all workers.
@@ -150,6 +155,10 @@ pub struct EngineReport {
     /// Merged trace of the run when [`EngineConfig::trace`]
     /// (`crate::EngineConfig::trace`) was set.
     pub trace: Option<Trace>,
+    /// `true` when a cooperative stop interrupted the run: the report is
+    /// partial ([`EngineStats::skipped`] clusters have no verdict) and the
+    /// checkpoint journal on disk makes the run resumable.
+    pub interrupted: bool,
 }
 
 impl EngineReport {
@@ -184,6 +193,18 @@ impl EngineReport {
             s.steals,
             100.0 * s.utilization()
         ));
+        if s.journal_hits > 0 {
+            out.push_str(&format!(
+                "engine: resumed — {} verdict(s) replayed from the checkpoint journal\n",
+                s.journal_hits
+            ));
+        }
+        if self.interrupted {
+            out.push_str(&format!(
+                "engine: run stopped early, {} cluster(s) left unaudited (resumable)\n",
+                s.skipped
+            ));
+        }
         if !s.recovery_time.is_zero() {
             out.push_str(&format!(
                 "engine: recovery ladder spent {:.2} ms in failed attempts\n",
@@ -216,8 +237,15 @@ impl EngineReport {
         let s = &self.stats;
         let mut out = String::from("{\"engine\":{");
         out.push_str(&format!(
-            "\"workers\":{},\"victims\":{},\"cache_hits\":{},\"cache_misses\":{},",
-            s.workers, s.victims, s.cache_hits, s.cache_misses
+            "\"workers\":{},\"victims\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"journal_hits\":{},\"skipped\":{},\"interrupted\":{},",
+            s.workers,
+            s.victims,
+            s.cache_hits,
+            s.cache_misses,
+            s.journal_hits,
+            s.skipped,
+            self.interrupted
         ));
         out.push_str(&format!(
             "\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\"receiver_ms\":{},\
@@ -303,11 +331,28 @@ impl EngineReport {
     /// Write the run's artifacts next to `stem`: `<stem>.profile.json`
     /// (always) and `<stem>.trace.json` (Chrome trace format, when the run
     /// was traced). Returns the paths written.
+    /// [`EngineReport::write_profile_with`] on the real filesystem.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn write_profile(&self, stem: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.write_profile_with(&crate::fs::Fs::real(), stem)
+    }
+
+    /// [`EngineReport::write_profile`] through an explicit [`Fs`]
+    /// (`crate::fs::Fs`) handle: both artifacts are written atomically
+    /// (write-temp + fsync + rename), so a crash mid-export can never
+    /// leave a torn JSON document behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_profile_with(
+        &self,
+        fs: &crate::fs::Fs,
+        stem: &Path,
+    ) -> std::io::Result<Vec<PathBuf>> {
         let mut written = Vec::new();
         let with_ext = |ext: &str| {
             let mut os = stem.as_os_str().to_owned();
@@ -315,11 +360,12 @@ impl EngineReport {
             PathBuf::from(os)
         };
         let profile = with_ext(".profile.json");
-        std::fs::write(&profile, self.profile_json())?;
+        fs.write_atomic(&profile, self.profile_json().as_bytes())?;
         written.push(profile);
         if let Some(trace) = &self.trace {
             let path = with_ext(".trace.json");
-            trace.write_chrome_trace(&path)?;
+            // Render in memory, then publish atomically.
+            fs.write_atomic(&path, trace.to_chrome_trace().as_bytes())?;
             written.push(path);
         }
         Ok(written)
@@ -389,6 +435,7 @@ mod tests {
             stats: EngineStats::default(),
             clusters: Vec::new(),
             trace: None,
+            interrupted: false,
         };
         let json = report.signoff_json();
         assert!(json.starts_with("{\"chip\":{"));

@@ -81,7 +81,11 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
             continue;
         }
         let mut tokens = trimmed.split_whitespace();
-        let keyword = tokens.next().expect("non-empty line has a token");
+        // `trimmed` is non-empty here, but a typed error beats a panic if
+        // the tokenizer ever disagrees (e.g. exotic whitespace).
+        let Some(keyword) = tokens.next() else {
+            return Err(err(line, "line has no leading keyword token"));
+        };
         let rest: Vec<&str> = tokens.collect();
         match keyword {
             "*SPEF" => {}

@@ -14,8 +14,9 @@ use std::time::Duration;
 /// Cluster-scoped events (`ClusterQueued` through `ClusterFinished`) fire a
 /// deterministic number of times per kind for a fixed input, cache state
 /// and fault plan — worker count and scheduling only change interleaving.
-/// Run- and worker-scoped events (`RunStarted`, `WorkerIdle`, `RunFinished`)
-/// scale with the execution environment instead.
+/// Run- and worker-scoped events (`RunStarted`, `WorkerIdle`, `RunFinished`,
+/// `RunResumed`, `RunStopped`) scale with the execution environment instead,
+/// and `ClusterSkipped` depends on stop timing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineEvent {
     /// Verification started.
@@ -70,6 +71,33 @@ pub enum EngineEvent {
         /// Time the job spent (prune + analysis + receiver).
         elapsed: Duration,
     },
+    /// A cluster's verdict was replayed from the checkpoint journal on a
+    /// resumed run (no analysis, no cache involvement).
+    ClusterReplayed {
+        /// Victim net name.
+        name: String,
+    },
+    /// A queued cluster was skipped because a cooperative stop was
+    /// requested before a worker picked it up. Timing-dependent: which
+    /// clusters land here varies with worker count and scheduling.
+    ClusterSkipped {
+        /// Victim net name.
+        name: String,
+    },
+    /// A resumed run loaded a checkpoint journal whose fingerprints match
+    /// the current netlist and configuration.
+    RunResumed {
+        /// Journal entries eligible for replay.
+        replayable: usize,
+    },
+    /// A cooperative stop drained the run early; the checkpoint journal
+    /// makes it resumable.
+    RunStopped {
+        /// Clusters that finished with a verdict before the stop.
+        completed: usize,
+        /// Clusters skipped without a verdict.
+        skipped: usize,
+    },
     /// A worker ran out of work and left the pool (one per worker).
     WorkerIdle {
         /// Dense worker index.
@@ -100,6 +128,10 @@ impl EngineEvent {
             EngineEvent::ClusterRetried { .. } => "cluster_retried",
             EngineEvent::ClusterDegraded { .. } => "cluster_degraded",
             EngineEvent::ClusterFinished { .. } => "cluster_finished",
+            EngineEvent::ClusterReplayed { .. } => "cluster_replayed",
+            EngineEvent::ClusterSkipped { .. } => "cluster_skipped",
+            EngineEvent::RunResumed { .. } => "run_resumed",
+            EngineEvent::RunStopped { .. } => "run_stopped",
             EngineEvent::WorkerIdle { .. } => "worker_idle",
             EngineEvent::RunFinished { .. } => "run_finished",
         }
@@ -113,6 +145,9 @@ impl EngineEvent {
             EngineEvent::RunStarted { .. }
                 | EngineEvent::WorkerIdle { .. }
                 | EngineEvent::RunFinished { .. }
+                | EngineEvent::RunResumed { .. }
+                | EngineEvent::RunStopped { .. }
+                | EngineEvent::ClusterSkipped { .. }
         )
     }
 }
@@ -155,7 +190,17 @@ impl CountingSink {
     /// subset).
     pub fn cluster_counts(&self) -> BTreeMap<&'static str, u64> {
         let mut counts = self.counts();
-        counts.retain(|kind, _| !matches!(*kind, "run_started" | "worker_idle" | "run_finished"));
+        counts.retain(|kind, _| {
+            !matches!(
+                *kind,
+                "run_started"
+                    | "worker_idle"
+                    | "run_finished"
+                    | "run_resumed"
+                    | "run_stopped"
+                    | "cluster_skipped"
+            )
+        });
         counts
     }
 
@@ -209,6 +254,30 @@ mod tests {
         assert_eq!(run.kind(), "run_started");
         assert!(!run.is_cluster_scoped());
         assert!(!EngineEvent::WorkerIdle { worker: 0 }.is_cluster_scoped());
+    }
+
+    #[test]
+    fn durability_kinds_are_scoped_correctly() {
+        let replayed = EngineEvent::ClusterReplayed { name: "v0".into() };
+        assert_eq!(replayed.kind(), "cluster_replayed");
+        assert!(replayed.is_cluster_scoped());
+        let skipped = EngineEvent::ClusterSkipped { name: "v1".into() };
+        assert_eq!(skipped.kind(), "cluster_skipped");
+        assert!(!skipped.is_cluster_scoped());
+        let resumed = EngineEvent::RunResumed { replayable: 3 };
+        assert_eq!(resumed.kind(), "run_resumed");
+        assert!(!resumed.is_cluster_scoped());
+        let stopped = EngineEvent::RunStopped { completed: 2, skipped: 1 };
+        assert_eq!(stopped.kind(), "run_stopped");
+        assert!(!stopped.is_cluster_scoped());
+        let sink = CountingSink::new();
+        sink.event(&replayed);
+        sink.event(&skipped);
+        sink.event(&stopped);
+        let cluster = sink.cluster_counts();
+        assert!(cluster.contains_key("cluster_replayed"));
+        assert!(!cluster.contains_key("cluster_skipped"));
+        assert!(!cluster.contains_key("run_stopped"));
     }
 
     #[test]

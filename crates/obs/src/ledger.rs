@@ -12,8 +12,10 @@ use pcv_trace::json::{f64_lit, str_lit};
 use std::io::Write;
 use std::path::Path;
 
-/// Current ledger schema version.
-pub const SCHEMA: u64 = 1;
+/// Current ledger schema version. Version 2 added `outcome`,
+/// `journal_hits` and `skipped`; version-1 lines still parse with those
+/// fields defaulted (`"complete"`, 0, 0).
+pub const SCHEMA: u64 = 2;
 
 /// One engine run, as recorded in the ledger.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -32,6 +34,12 @@ pub struct RunRecord {
     pub cache_hits: usize,
     /// Jobs that ran the full analysis.
     pub cache_misses: usize,
+    /// Verdicts replayed from the checkpoint journal (resumed runs).
+    pub journal_hits: usize,
+    /// Clusters skipped by a cooperative stop (no verdict recorded).
+    pub skipped: usize,
+    /// How the run ended: `"complete"` or `"stopped"` (resumable).
+    pub outcome: String,
     /// Verdicts produced by a recovery rung above baseline.
     pub degraded: usize,
     /// Failed-job records.
@@ -64,7 +72,8 @@ impl RunRecord {
         format!(
             "{{\"schema\":{SCHEMA},\"config_fingerprint\":{},\"chip_fingerprint\":{},\
              \"victims\":{},\"workers\":{},\"host_parallelism\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"degraded\":{},\"errors\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"journal_hits\":{},\"skipped\":{},\
+             \"outcome\":{},\"degraded\":{},\"errors\":{},\
              \"steals\":{},\"wall_ms\":{},\"prune_ms\":{},\"analysis_ms\":{},\
              \"receiver_ms\":{},\"recovery_ms\":{},\"peak_alloc_bytes\":{},\"allocs\":{}}}",
             str_lit(&format!("{:016x}", self.config_fingerprint)),
@@ -74,6 +83,9 @@ impl RunRecord {
             self.host_parallelism,
             self.cache_hits,
             self.cache_misses,
+            self.journal_hits,
+            self.skipped,
+            str_lit(&self.outcome),
             self.degraded,
             self.errors,
             self.steals,
@@ -92,7 +104,8 @@ impl RunRecord {
     /// skip what it cannot understand, never fail the run.
     pub fn parse(line: &str) -> Option<RunRecord> {
         let v = json::parse(line.trim()).ok()?;
-        if v.get("schema")?.as_u64()? != SCHEMA {
+        let schema = v.get("schema")?.as_u64()?;
+        if schema == 0 || schema > SCHEMA {
             return None;
         }
         let hex =
@@ -107,6 +120,10 @@ impl RunRecord {
             host_parallelism: uint("host_parallelism")? as usize,
             cache_hits: uint("cache_hits")? as usize,
             cache_misses: uint("cache_misses")? as usize,
+            // Durability fields arrived in schema 2; default them for v1.
+            journal_hits: uint("journal_hits").unwrap_or(0) as usize,
+            skipped: uint("skipped").unwrap_or(0) as usize,
+            outcome: v.get("outcome").and_then(Value::as_str).unwrap_or("complete").to_owned(),
             degraded: uint("degraded")? as usize,
             errors: uint("errors")? as usize,
             steals: uint("steals")?,
@@ -135,10 +152,29 @@ impl RunRecord {
 /// Read every parseable record from a ledger file. Malformed or
 /// foreign-schema lines are skipped, not errors.
 pub fn read_all(path: &Path) -> Vec<RunRecord> {
+    scan(path).0
+}
+
+/// Like [`read_all`], but also count the lines that could not be parsed —
+/// a non-zero count usually means the final line was torn by a crash
+/// mid-append (the journal/ledger recovery path) or the file was written
+/// by a newer schema. Blank lines are ignored, not counted.
+pub fn scan(path: &Path) -> (Vec<RunRecord>, usize) {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
+        return (Vec::new(), 0);
     };
-    text.lines().filter_map(RunRecord::parse).collect()
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match RunRecord::parse(line) {
+            Some(rec) => records.push(rec),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
 }
 
 #[cfg(test)]
@@ -154,6 +190,9 @@ mod tests {
             host_parallelism: 8,
             cache_hits: 30,
             cache_misses: 12,
+            journal_hits: 5,
+            skipped: 1,
+            outcome: "stopped".to_owned(),
             degraded: 2,
             errors: 1,
             steals: 17,
@@ -209,6 +248,40 @@ mod tests {
         text.push_str(&sample().to_json());
         text.push('\n');
         std::fs::write(&path, text).unwrap();
+        assert_eq!(read_all(&path).len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schema_v1_lines_parse_with_defaulted_durability_fields() {
+        // A pre-durability (schema 1) record, verbatim from an old ledger.
+        let v1 = "{\"schema\":1,\"config_fingerprint\":\"00000000000000aa\",\
+                  \"chip_fingerprint\":\"00000000000000bb\",\"victims\":3,\"workers\":2,\
+                  \"host_parallelism\":4,\"cache_hits\":1,\"cache_misses\":2,\"degraded\":0,\
+                  \"errors\":0,\"steals\":5,\"wall_ms\":1.5,\"prune_ms\":0.5,\
+                  \"analysis_ms\":0.75,\"receiver_ms\":0.25,\"recovery_ms\":0,\
+                  \"peak_alloc_bytes\":0,\"allocs\":0}";
+        let rec = RunRecord::parse(v1).expect("v1 line parses");
+        assert_eq!(rec.journal_hits, 0);
+        assert_eq!(rec.skipped, 0);
+        assert_eq!(rec.outcome, "complete");
+        assert_eq!(rec.victims, 3);
+    }
+
+    #[test]
+    fn scan_counts_a_torn_final_line() {
+        let dir = std::env::temp_dir().join("pcv-obs-ledger-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let full = sample().to_json();
+        // Simulate a crash mid-append: the last record is cut short.
+        let torn = &full[..full.len() / 2];
+        std::fs::write(&path, format!("{full}\n{torn}")).unwrap();
+        let (records, skipped) = scan(&path);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], sample());
+        assert_eq!(skipped, 1);
+        // read_all sees the same surviving records.
         assert_eq!(read_all(&path).len(), 1);
         let _ = std::fs::remove_file(&path);
     }

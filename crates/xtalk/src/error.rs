@@ -27,6 +27,15 @@ pub enum XtalkError {
         /// What is inconsistent.
         what: &'static str,
     },
+    /// Another live process holds the advisory run lock for the same
+    /// cache directory — running anyway would corrupt the shared cache,
+    /// journal and ledger.
+    Busy {
+        /// Path of the contended lock file.
+        path: String,
+        /// Pid recorded by the holder.
+        pid: u32,
+    },
 }
 
 impl fmt::Display for XtalkError {
@@ -38,6 +47,9 @@ impl fmt::Display for XtalkError {
             XtalkError::Measurement { what } => write!(f, "could not measure {what}"),
             XtalkError::NoDriver { net } => write!(f, "net {net:?} has no driver"),
             XtalkError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            XtalkError::Busy { path, pid } => {
+                write!(f, "run lock {path:?} is held by live pid {pid}")
+            }
         }
     }
 }
@@ -86,5 +98,8 @@ mod tests {
         assert!(e.to_string().contains("crossing"));
         let e = XtalkError::InvalidConfig { what: "mix" };
         assert!(e.to_string().contains("mix"));
+        let e = XtalkError::Busy { path: "/tmp/c.lock".into(), pid: 4242 };
+        assert!(e.to_string().contains("4242"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

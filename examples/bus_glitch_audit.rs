@@ -56,7 +56,9 @@ fn main() -> Result<(), XtalkError> {
         println!("serial reference matches the engine report");
 
         // Drop the run's profile artifacts (Chrome trace + cost JSON) into
-        // target/ for inspection in chrome://tracing or Perfetto.
+        // target/ for inspection in chrome://tracing or Perfetto. The
+        // export is atomic (write-temp + fsync + rename), so a killed run
+        // never leaves a torn JSON document here.
         let stem = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join(format!("../../target/bus_audit_{length_um:.0}um"));
         match report.write_profile(&stem) {

@@ -10,21 +10,32 @@
 //! done, throughput, ETA, cache hits and degradations. Pass `--quiet` (or
 //! set `PCV_NO_PROGRESS`) to suppress it; it also disappears on its own
 //! when stderr is not a terminal.
+//!
+//! Pass `--stop-after N` to drill the crash-safe path: the run stops
+//! cooperatively after N cluster verdicts (simulating an interrupted
+//! sign-off), then resumes from the checkpoint journal and finishes —
+//! byte-identical to an uninterrupted run.
 
 use pcv_bench::charlib_for;
 use pcv_cells::library::CellLibrary;
 use pcv_designs::dsp::{generate, DspConfig};
 use pcv_designs::Technology;
-use pcv_engine::{Engine, EngineConfig};
+use pcv_engine::{Engine, EngineConfig, StopAfter, StopFlag};
 use pcv_netlist::PNetId;
-use pcv_obs::StderrStatusLine;
+use pcv_obs::{EventSink, StderrStatusLine, TeeSink};
 use pcv_xtalk::drivers::DriverModelKind;
 use pcv_xtalk::prune::PruneConfig;
 use pcv_xtalk::{verify_chip, AnalysisContext, AnalysisOptions, XtalkError};
 use std::sync::Arc;
 
 fn main() -> Result<(), XtalkError> {
-    let quiet = std::env::args().any(|a| a == "--quiet");
+    let args: Vec<String> = std::env::args().collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let stop_after = args
+        .iter()
+        .position(|a| a == "--stop-after")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
     let tech = Technology::c025();
     let lib = CellLibrary::standard_025();
 
@@ -71,14 +82,33 @@ fn main() -> Result<(), XtalkError> {
     let cache =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/dsp_signoff.cache");
     let status = Arc::new(StderrStatusLine::auto(quiet));
-    let engine = Engine::new(EngineConfig {
+    let base = EngineConfig {
         workers: 0, // one per core
         cache_path: Some(cache.clone()),
         trace: true,
         sink: Some(status.clone()),
         ..Default::default()
-    });
-    let report = engine.verify(&ctx, &victims)?;
+    };
+    let report = if let Some(n) = stop_after {
+        // Crash drill: stop cooperatively after n verdicts (in-flight
+        // clusters drain, the journal keeps every completed verdict),
+        // then resume from the checkpoint journal and finish the audit.
+        let flag = StopFlag::new();
+        let stopper: Arc<dyn EventSink> = Arc::new(StopAfter::new(flag.clone(), n));
+        let mut cfg = base.clone();
+        cfg.sink = Some(Arc::new(TeeSink::new(vec![status.clone(), stopper])));
+        cfg.durable.stop = Some(flag);
+        let partial = Engine::new(cfg).verify(&ctx, &victims)?;
+        println!(
+            "stopped early: {}/{} verdict(s) checkpointed, {} skipped — resuming",
+            partial.stats.victims - partial.stats.skipped,
+            partial.stats.victims,
+            partial.stats.skipped
+        );
+        Engine::new(base).resume(&ctx, &victims)?
+    } else {
+        Engine::new(base).verify(&ctx, &victims)?
+    };
     let progress = status.snapshot();
     println!(
         "live monitor saw {}/{} clusters, {} cached, {} degraded",
@@ -111,6 +141,19 @@ fn main() -> Result<(), XtalkError> {
         report.chip.flagged().count(),
         report.chip.pruning.mean_after
     );
+
+    // Persist the machine-readable sign-off verdict atomically — this is
+    // the artifact the crash drill compares (and CI uploads).
+    let signoff = cache.with_extension("signoff.json");
+    match pcv_engine::fs::Fs::real().write_atomic(&signoff, report.signoff_json().as_bytes()) {
+        Ok(()) => println!("signoff: {}", signoff.display()),
+        Err(e) => eprintln!("signoff artifact write failed: {e}"),
+    }
+
+    if report.interrupted {
+        println!("run was interrupted — skipping the serial cross-check (resume to finish)");
+        return Ok(());
+    }
 
     // The serial reference path produces the identical report (the engine
     // is deterministic); keep it as the cross-check of the fast path.
