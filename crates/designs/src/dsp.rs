@@ -22,7 +22,7 @@ use pcv_netlist::{Design, NetId, ParasiticDb};
 use pcv_rng::Rng;
 
 /// Configuration of the generated block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DspConfig {
     /// Number of bus groups.
     pub n_buses: usize,

@@ -454,46 +454,92 @@ impl RunLock {
     /// held by a dead process (or unreadable) is broken and retaken; a
     /// lock held by a live process is [`LockError::Held`].
     ///
+    /// Breaking a stale lock is a single atomic rename onto a
+    /// contender-unique claim path: two waiters deciding "stale" at the
+    /// same moment cannot both break it, because only one rename of the
+    /// same inode succeeds — the loser re-enters the create race and loses
+    /// it. Lock files are also *created* atomically with their content
+    /// (write a private temp file, then `hard_link` it into place), so a
+    /// contender can never observe a half-written lock and misjudge it as
+    /// garbage.
+    ///
     /// # Errors
     ///
     /// [`LockError::Held`] on contention, [`LockError::Io`] when the file
     /// cannot be created at all.
     pub fn acquire(path: &Path, config_fp: u64) -> Result<RunLock, LockError> {
-        for attempt in 0..2 {
-            match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
-                Ok(mut f) => {
-                    use std::io::Write;
-                    let body = format!("pid {}\nconfig {config_fp:016x}\n", std::process::id());
-                    let _ = f.write_all(body.as_bytes());
-                    let _ = f.sync_all();
-                    return Ok(RunLock { path: path.to_owned() });
-                }
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt == 0 => {
-                    let holder =
-                        std::fs::read_to_string(path).ok().and_then(|text| Self::parse_pid(&text));
-                    match holder {
-                        Some(pid) if process_alive(pid) => {
-                            return Err(LockError::Held { pid });
-                        }
-                        // Dead holder or unreadable/garbage lock: stale.
-                        // Break it and retry once.
-                        _ => {
-                            let _ = std::fs::remove_file(path);
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    // Lost the post-break race to another acquirer.
-                    let pid = std::fs::read_to_string(path)
-                        .ok()
-                        .and_then(|text| Self::parse_pid(&text))
-                        .unwrap_or(0);
-                    return Err(LockError::Held { pid });
-                }
+        let body = format!("pid {}\nconfig {config_fp:016x}\n", std::process::id());
+        // Each iteration either returns or observes another contender make
+        // progress; a handful of retries outlasts any realistic pile-up.
+        for _ in 0..8 {
+            match Self::try_create(path, &body) {
+                Ok(true) => return Ok(RunLock { path: path.to_owned() }),
+                Ok(false) => {}
                 Err(e) => return Err(LockError::Io(e)),
             }
+            let holder = std::fs::read_to_string(path).ok().and_then(|text| Self::parse_pid(&text));
+            if let Some(pid) = holder {
+                if process_alive(pid) {
+                    return Err(LockError::Held { pid });
+                }
+            } else if !path.exists() {
+                // The file vanished between the failed create and the read:
+                // another contender broke it. Re-enter the create race.
+                continue;
+            }
+            // Suspected stale (dead holder, or garbage content). Claim it
+            // with one atomic rename; of N simultaneous breakers exactly
+            // one wins this rename, the rest fall through and retry.
+            let claim = Self::scratch_path(path, "break");
+            if std::fs::rename(path, &claim).is_ok() {
+                // Re-read what we actually claimed: a live holder may have
+                // released and re-taken the lock between our staleness read
+                // and the rename. If so, put it back — via `hard_link`, so
+                // a newer lock that appeared meanwhile is never clobbered.
+                let claimed =
+                    std::fs::read_to_string(&claim).ok().and_then(|text| Self::parse_pid(&text));
+                if let Some(pid) = claimed.filter(|&p| process_alive(p)) {
+                    let _ = std::fs::hard_link(&claim, path);
+                    let _ = std::fs::remove_file(&claim);
+                    return Err(LockError::Held { pid });
+                }
+                let _ = std::fs::remove_file(&claim);
+            }
         }
-        unreachable!("the second attempt always returns");
+        let pid =
+            std::fs::read_to_string(path).ok().and_then(|text| Self::parse_pid(&text)).unwrap_or(0);
+        Err(LockError::Held { pid })
+    }
+
+    /// Atomically materialize the lock file *with its content*: write a
+    /// contender-private temp file, then `hard_link` it to `path` (link
+    /// fails if `path` exists — the atomic part). Returns `Ok(false)` on
+    /// contention.
+    fn try_create(path: &Path, body: &str) -> io::Result<bool> {
+        let tmp = Self::scratch_path(path, "tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        let linked = std::fs::hard_link(&tmp, path);
+        let _ = std::fs::remove_file(&tmp);
+        match linked {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A sibling path unique to this contender — pid alone is not enough,
+    /// two threads of one process can contend for the same lock.
+    fn scratch_path(path: &Path, tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut os = path.as_os_str().to_owned();
+        os.push(format!(".{tag}.{}.{n}", std::process::id()));
+        PathBuf::from(os)
     }
 
     fn parse_pid(text: &str) -> Option<u32> {
@@ -636,6 +682,43 @@ mod tests {
         std::fs::write(&path, "what even is this").unwrap();
         let _lock = RunLock::acquire(&path, 0xfeed).unwrap();
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn concurrent_stale_break_has_exactly_one_winner() {
+        // Two waiters race to break the same stale lock. The break is one
+        // atomic rename, so exactly one of them may win; the loser must
+        // see a typed Held error, never a second "acquired" lock.
+        for round in 0..16 {
+            let d = dir(&format!("lock-race-{round}"));
+            let path = d.join("cache.lock");
+            std::fs::write(&path, "pid 999999999\nconfig 0\n").unwrap();
+            let barrier = std::sync::Barrier::new(2);
+            let outcomes: Vec<Result<RunLock, LockError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let (path, barrier) = (&path, &barrier);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            RunLock::acquire(path, 0xfeed)
+                        })
+                    })
+                    .collect();
+                // Collect both results before any RunLock drops, so a
+                // winner finishing early cannot free the lock and let the
+                // loser legitimately take it.
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let winners = outcomes.iter().filter(|o| o.is_ok()).count();
+            assert_eq!(winners, 1, "round {round}: exactly one breaker may win: {outcomes:?}");
+            assert!(
+                outcomes.iter().all(|o| matches!(o, Ok(_) | Err(LockError::Held { .. }))),
+                "round {round}: the loser sees typed contention: {outcomes:?}"
+            );
+            drop(outcomes);
+            assert!(!path.exists(), "round {round}: winner's drop released the lock");
+            let _ = std::fs::remove_dir_all(&d);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::recovery::{
     route, Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
 };
 use crate::report::{ClusterCost, EngineError, EngineReport, EngineStats};
+use crate::resident::{ResidentChip, VerdictSnapshot};
 use crate::scheduler;
 use pcv_cells::library::CellKind;
 use pcv_mor::{CancelToken, MorError};
@@ -262,7 +263,41 @@ impl Engine {
         ctx: &AnalysisContext<'_>,
         victims: &[PNetId],
     ) -> Result<EngineReport, XtalkError> {
-        self.run(ctx, victims, false)
+        self.run(ctx, victims, false, None, None)
+    }
+
+    /// [`Engine::verify`] over a [`ResidentChip`]: the elaborate-once,
+    /// run-many entry point. Reuses the chip's precomputed coupling
+    /// component sizes instead of rebuilding the union-find, and — when
+    /// `snapshot` is given — publishes every completed verdict into it as
+    /// the run progresses, so concurrent readers can serve per-net partial
+    /// results mid-run. The report is byte-identical to
+    /// [`Engine::verify`] over `chip.ctx()` and `chip.victims()`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::verify`].
+    pub fn verify_resident(
+        &self,
+        chip: &ResidentChip,
+        snapshot: Option<&VerdictSnapshot>,
+    ) -> Result<EngineReport, XtalkError> {
+        self.run(&chip.ctx(), chip.victims(), false, Some(chip.component_sizes()), snapshot)
+    }
+
+    /// [`Engine::resume`] over a [`ResidentChip`]: replay the checkpoint
+    /// journal, then finish the remaining clusters — the service-side path
+    /// for completing a run a shutdown interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::verify`].
+    pub fn resume_resident(
+        &self,
+        chip: &ResidentChip,
+        snapshot: Option<&VerdictSnapshot>,
+    ) -> Result<EngineReport, XtalkError> {
+        self.run(&chip.ctx(), chip.victims(), true, Some(chip.component_sizes()), snapshot)
     }
 
     /// [`Engine::verify`], but first replay the checkpoint journal a
@@ -287,7 +322,7 @@ impl Engine {
         ctx: &AnalysisContext<'_>,
         victims: &[PNetId],
     ) -> Result<EngineReport, XtalkError> {
-        self.run(ctx, victims, true)
+        self.run(ctx, victims, true, None, None)
     }
 
     fn run(
@@ -295,6 +330,8 @@ impl Engine {
         ctx: &AnalysisContext<'_>,
         victims: &[PNetId],
         resume: bool,
+        components: Option<&[usize]>,
+        snapshot: Option<&VerdictSnapshot>,
     ) -> Result<EngineReport, XtalkError> {
         let cfg = &self.config;
         if cfg.warn_frac > cfg.fail_frac {
@@ -429,8 +466,16 @@ impl Engine {
 
         let stop = cfg.durable.stop.as_ref();
 
-        // One union-find for the whole run instead of one per victim.
-        let component_sizes = coupling_component_sizes(ctx.db);
+        // One union-find for the whole run instead of one per victim —
+        // or zero, when a ResidentChip already paid for it at elaboration.
+        let computed_components;
+        let component_sizes: &[usize] = match components {
+            Some(sizes) => sizes,
+            None => {
+                computed_components = coupling_component_sizes(ctx.db);
+                &computed_components
+            }
+        };
 
         if sink.is_some() {
             for &vic in victims {
@@ -454,7 +499,7 @@ impl Engine {
             let job_start = Instant::now();
             emit(EngineEvent::ClusterStarted { name: ctx.db.net(vic).name().to_owned() });
             let t = Instant::now();
-            let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, &component_sizes);
+            let cluster = prune_victim_with_components(ctx.db, vic, &cfg.prune, component_sizes);
             let prune = t.elapsed();
             let name = ctx.db.net(vic).name().to_owned();
 
@@ -677,9 +722,20 @@ impl Engine {
             Ok(Some(out))
         };
 
-        let (results, run_stats) = scheduler::run_with_idle(workers, victims.len(), job, |w| {
-            emit(EngineEvent::WorkerIdle { worker: w })
-        });
+        // Mid-run read side: each completed verdict is published into the
+        // snapshot the moment its job returns, before the merge — readers
+        // polling a resident run see partial results grow monotonically.
+        let observed_job = |i: usize| {
+            let outcome = job(i);
+            if let (Some(snap), Ok(Some(ok))) = (snapshot, &outcome) {
+                snap.insert(ok.verdict.clone());
+            }
+            outcome
+        };
+        let (results, run_stats) =
+            scheduler::run_with_idle(workers, victims.len(), observed_job, |w| {
+                emit(EngineEvent::WorkerIdle { worker: w })
+            });
 
         // Deterministic merge: collect in input order, then apply the exact
         // stable sort the serial flow uses. Stability makes ties keep input
@@ -791,7 +847,7 @@ impl Engine {
 
         let recovery_total: Duration = degradations.iter().map(Degradation::recovery_time).sum();
         let mem = pcv_obs::mem::snapshot().unwrap_or_default();
-        let stats = EngineStats {
+        let mut stats = EngineStats {
             workers,
             victims: victims.len(),
             cache_hits: hits,
@@ -808,6 +864,7 @@ impl Engine {
             steals: run_stats.steals,
             peak_alloc_bytes: mem.peak_bytes,
             allocs: mem.allocs,
+            events_dropped: 0,
         };
         emit(EngineEvent::RunFinished {
             victims: victims.len(),
@@ -815,6 +872,9 @@ impl Engine {
             cache_hits: hits,
             degraded: degradations.len(),
         });
+        // Read the sink's shed counter only after the final event fired,
+        // so a drop of RunFinished itself is still accounted for.
+        stats.events_dropped = sink.map(|s| s.dropped()).unwrap_or(0);
         if cfg.ledger {
             if let Some(path) = cfg.cache_path.as_deref() {
                 let record = RunRecord {

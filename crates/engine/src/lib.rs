@@ -81,6 +81,7 @@ pub mod fingerprint;
 pub mod fs;
 pub mod recovery;
 pub mod report;
+pub mod resident;
 pub mod scheduler;
 
 pub use cache::{CacheEntry, CacheLoadStats, CachedReceiver, ResultCache};
@@ -95,3 +96,4 @@ pub use recovery::{
     Attempt, Degradation, FaultKind, FaultPlan, FaultSpec, RecoveryConfig, RecoveryRung,
 };
 pub use report::{ClusterCost, EngineError, EngineReport, EngineStats};
+pub use resident::{ResidentChip, VerdictSnapshot};

@@ -99,6 +99,12 @@ pub struct EngineStats {
     /// Allocations observed by the instrumented allocator; 0 when
     /// tracking is not installed.
     pub allocs: u64,
+    /// Lifecycle events the configured [`pcv_obs::EventSink`] shed instead
+    /// of delivering (a full [`pcv_obs::EventChannel`] ring or
+    /// [`pcv_obs::EventHub`] archive); 0 with no sink or an unbounded one.
+    /// Observability never backpressures verification — this counter is
+    /// how the loss stays visible.
+    pub events_dropped: u64,
 }
 
 impl EngineStats {
@@ -193,6 +199,12 @@ impl EngineReport {
             s.steals,
             100.0 * s.utilization()
         ));
+        if s.events_dropped > 0 {
+            out.push_str(&format!(
+                "engine: event sink shed {} event(s) (bounded buffer overflow)\n",
+                s.events_dropped
+            ));
+        }
         if s.journal_hits > 0 {
             out.push_str(&format!(
                 "engine: resumed — {} verdict(s) replayed from the checkpoint journal\n",
@@ -257,8 +269,10 @@ impl EngineReport {
             f64_lit(s.recovery_time.as_secs_f64() * 1e3)
         ));
         out.push_str(&format!(
-            "\"steals\":{},\"utilization\":{},\"throughput\":{},\"errors\":{},\"degraded\":{}}}",
+            "\"steals\":{},\"events_dropped\":{},\"utilization\":{},\"throughput\":{},\
+             \"errors\":{},\"degraded\":{}}}",
             s.steals,
+            s.events_dropped,
             f64_lit(s.utilization()),
             f64_lit(s.throughput()),
             self.errors.len(),

@@ -1,0 +1,241 @@
+//! The resident-chip handle: elaborate once, verify many times.
+//!
+//! The batch flow pays its dominant fixed cost — parsing parasitics,
+//! aligning the gate-level view, characterizing drivers, and building the
+//! coupling union-find — before the first verdict, on *every* invocation.
+//! A verification service must pay it once: [`ResidentChip`] owns all of
+//! that state, keeps it hot in memory, and hands the engine a borrowed
+//! [`AnalysisContext`] per run. [`Engine::verify_resident`] and
+//! [`Engine::resume_resident`](crate::Engine::resume_resident) reuse the
+//! precomputed component sizes instead of rebuilding the union-find, so a
+//! warm run starts analyzing immediately.
+//!
+//! [`VerdictSnapshot`] is the run-scoped read side: the engine publishes
+//! every completed verdict into it as the run progresses, so concurrent
+//! clients can query per-net results mid-run — including verdicts from
+//! clusters that finished while the rest of the chip is still in flight —
+//! without touching the run lock or waiting for the merged report.
+//!
+//! [`Engine::verify_resident`]: crate::Engine::verify_resident
+
+use pcv_cells::charlib::CharLibrary;
+use pcv_cells::library::CellLibrary;
+use pcv_netlist::{Design, PNetId, ParasiticDb};
+use pcv_xtalk::drivers::DriverModelKind;
+use pcv_xtalk::prune::coupling_component_sizes;
+use pcv_xtalk::{AnalysisContext, NetVerdict};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A chip elaborated once and held resident for many verification runs.
+///
+/// Owns the parasitics, the optional gate-level design and libraries, the
+/// victim list, and the precomputed coupling-component sizes (the
+/// union-find over the whole netlist that every pruning pass needs).
+/// Cheap to share behind an `Arc`: every field is immutable after
+/// elaboration, so concurrent runs and queries need no locking.
+#[derive(Debug)]
+pub struct ResidentChip {
+    db: ParasiticDb,
+    design: Option<Design>,
+    lib: Option<CellLibrary>,
+    charlib: Option<CharLibrary>,
+    driver_model: DriverModelKind,
+    victims: Vec<PNetId>,
+    component_sizes: Vec<usize>,
+}
+
+impl ResidentChip {
+    /// Elaborate a design-less chip with uniform fixed-resistance drivers
+    /// (the SPEF-only ingest path).
+    pub fn fixed_resistance(db: ParasiticDb, ohms: f64, victims: Vec<PNetId>) -> Self {
+        let component_sizes = coupling_component_sizes(&db);
+        ResidentChip {
+            db,
+            design: None,
+            lib: None,
+            charlib: None,
+            driver_model: DriverModelKind::FixedResistance(ohms),
+            victims,
+            component_sizes,
+        }
+    }
+
+    /// Elaborate a full chip: parasitics plus gate-level design, cell
+    /// library and characterized drivers.
+    pub fn with_design(
+        db: ParasiticDb,
+        design: Design,
+        lib: CellLibrary,
+        charlib: CharLibrary,
+        driver_model: DriverModelKind,
+        victims: Vec<PNetId>,
+    ) -> Self {
+        let component_sizes = coupling_component_sizes(&db);
+        ResidentChip {
+            db,
+            design: Some(design),
+            lib: Some(lib),
+            charlib: Some(charlib),
+            driver_model,
+            victims,
+            component_sizes,
+        }
+    }
+
+    /// A borrowed analysis context over the resident data — the same
+    /// context the batch flow builds per invocation.
+    pub fn ctx(&self) -> AnalysisContext<'_> {
+        AnalysisContext {
+            db: &self.db,
+            design: self.design.as_ref(),
+            lib: self.lib.as_ref(),
+            charlib: self.charlib.as_ref(),
+            driver_model: self.driver_model,
+        }
+    }
+
+    /// The victim population this chip is audited over.
+    pub fn victims(&self) -> &[PNetId] {
+        &self.victims
+    }
+
+    /// Precomputed coupling-component sizes (indexable by net id).
+    pub fn component_sizes(&self) -> &[usize] {
+        &self.component_sizes
+    }
+
+    /// The resident parasitics.
+    pub fn db(&self) -> &ParasiticDb {
+        &self.db
+    }
+
+    /// Nets in the resident parasitics.
+    pub fn num_nets(&self) -> usize {
+        self.db.num_nets()
+    }
+
+    /// Whether `name` names one of the audited victims.
+    pub fn is_victim(&self, name: &str) -> bool {
+        self.victims.iter().any(|&v| self.db.net(v).name() == name)
+    }
+}
+
+/// A run-scoped, concurrently readable store of completed verdicts.
+///
+/// The engine inserts each cluster's [`NetVerdict`] the moment its job
+/// finishes (computed, cached, or replayed from the journal), so readers
+/// polling mid-run see partial results grow monotonically. Reads never
+/// touch the advisory run lock — a query cannot block, or be blocked by,
+/// the run itself.
+#[derive(Debug, Default)]
+pub struct VerdictSnapshot {
+    done: Mutex<HashMap<String, NetVerdict>>,
+}
+
+impl VerdictSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish one completed verdict (engine-side).
+    pub fn insert(&self, verdict: NetVerdict) {
+        let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        done.insert(verdict.name.clone(), verdict);
+    }
+
+    /// The verdict for one net, if its cluster has completed.
+    pub fn get(&self, name: &str) -> Option<NetVerdict> {
+        let done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        done.get(name).cloned()
+    }
+
+    /// Completed verdicts so far.
+    pub fn len(&self) -> usize {
+        self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether no verdict has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every completed verdict, sorted by net name (a deterministic order
+    /// for a partial set — worst-first only makes sense once the run has
+    /// merged).
+    pub fn all(&self) -> Vec<NetVerdict> {
+        let done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<NetVerdict> = done.values().cloned().collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EngineConfig};
+    use pcv_netlist::{NetNodeRef, NetParasitics};
+    use pcv_xtalk::Severity;
+    use std::sync::Arc;
+
+    fn chip() -> ResidentChip {
+        let mut db = ParasiticDb::new();
+        let mk = |name: &str, cg: f64| {
+            let mut n = NetParasitics::new(name);
+            let n1 = n.add_node();
+            n.add_resistor(0, n1, 200.0);
+            n.add_ground_cap(n1, cg);
+            n.mark_load(n1);
+            n
+        };
+        let hot = db.add_net(mk("hot", 5e-15));
+        let cold = db.add_net(mk("cold", 50e-15));
+        let agg = db.add_net(mk("agg", 5e-15));
+        db.add_coupling(NetNodeRef { net: hot, node: 1 }, NetNodeRef { net: agg, node: 1 }, 60e-15);
+        db.add_coupling(
+            NetNodeRef { net: cold, node: 1 },
+            NetNodeRef { net: agg, node: 1 },
+            0.4e-15,
+        );
+        ResidentChip::fixed_resistance(db, 2000.0, vec![cold, hot])
+    }
+
+    #[test]
+    fn resident_run_matches_the_borrowing_path() {
+        let chip = chip();
+        let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+        let borrowed = engine.verify(&chip.ctx(), chip.victims()).unwrap();
+        let resident = engine.verify_resident(&chip, None).unwrap();
+        assert_eq!(resident.chip, borrowed.chip);
+        assert_eq!(resident.signoff_json(), borrowed.signoff_json());
+    }
+
+    #[test]
+    fn snapshot_collects_every_completed_verdict() {
+        let chip = chip();
+        let snap = Arc::new(VerdictSnapshot::new());
+        let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+        let report = engine.verify_resident(&chip, Some(&snap)).unwrap();
+        assert_eq!(snap.len(), report.chip.verdicts.len());
+        let hot = snap.get("hot").expect("hot completed");
+        let in_report = report.chip.verdicts.iter().find(|v| v.name == "hot").unwrap();
+        assert_eq!(&hot, in_report);
+        assert!(snap.get("no_such_net").is_none());
+        let all = snap.all();
+        assert_eq!(all.len(), 2);
+        assert!(all.windows(2).all(|w| w[0].name <= w[1].name), "sorted by name");
+        assert!(all.iter().all(|v| v.severity >= Severity::Clean));
+    }
+
+    #[test]
+    fn victim_lookup_by_name() {
+        let chip = chip();
+        assert!(chip.is_victim("hot"));
+        assert!(chip.is_victim("cold"));
+        assert!(!chip.is_victim("agg"), "aggressors are not victims");
+        assert_eq!(chip.num_nets(), 3);
+        assert_eq!(chip.component_sizes().len(), 3);
+    }
+}

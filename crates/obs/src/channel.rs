@@ -93,6 +93,12 @@ impl EventSink for ChannelSink {
     fn event(&self, ev: &EngineEvent) {
         self.publish(ev.clone());
     }
+
+    /// Shed events are counted, not silent: the engine reads this into
+    /// `EngineStats::events_dropped` when the run finishes.
+    fn dropped(&self) -> u64 {
+        ChannelSink::dropped(self)
+    }
 }
 
 impl EventReceiver {

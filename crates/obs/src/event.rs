@@ -137,6 +137,46 @@ impl EngineEvent {
         }
     }
 
+    /// Render as one JSONL object (no trailing newline): always a `kind`
+    /// member plus the event's fields, durations as `*_ms` decimal
+    /// milliseconds. This is the wire form `pcv-serve` streams to event
+    /// subscribers.
+    pub fn to_json(&self) -> String {
+        use pcv_trace::json::{f64_lit, str_lit};
+        let ms = |d: &Duration| f64_lit(d.as_secs_f64() * 1e3);
+        let body = match self {
+            EngineEvent::RunStarted { victims, workers } => {
+                format!("\"victims\":{victims},\"workers\":{workers}")
+            }
+            EngineEvent::ClusterQueued { name }
+            | EngineEvent::ClusterStarted { name }
+            | EngineEvent::CacheHit { name }
+            | EngineEvent::CacheMiss { name }
+            | EngineEvent::ClusterReplayed { name }
+            | EngineEvent::ClusterSkipped { name } => format!("\"name\":{}", str_lit(name)),
+            EngineEvent::ClusterRetried { name, rung }
+            | EngineEvent::ClusterDegraded { name, rung } => {
+                format!("\"name\":{},\"rung\":{}", str_lit(name), str_lit(rung))
+            }
+            EngineEvent::ClusterFinished { name, cached, elapsed } => format!(
+                "\"name\":{},\"cached\":{cached},\"elapsed_ms\":{}",
+                str_lit(name),
+                ms(elapsed)
+            ),
+            EngineEvent::RunResumed { replayable } => format!("\"replayable\":{replayable}"),
+            EngineEvent::RunStopped { completed, skipped } => {
+                format!("\"completed\":{completed},\"skipped\":{skipped}")
+            }
+            EngineEvent::WorkerIdle { worker } => format!("\"worker\":{worker}"),
+            EngineEvent::RunFinished { victims, wall, cache_hits, degraded } => format!(
+                "\"victims\":{victims},\"wall_ms\":{},\"cache_hits\":{cache_hits},\
+                 \"degraded\":{degraded}",
+                ms(wall)
+            ),
+        };
+        format!("{{\"kind\":{},{body}}}", str_lit(self.kind()))
+    }
+
     /// `true` for cluster-scoped kinds, whose per-kind counts are
     /// deterministic across worker counts and scheduling orders.
     pub fn is_cluster_scoped(&self) -> bool {
@@ -157,6 +197,16 @@ impl EngineEvent {
 pub trait EventSink: Send + Sync {
     /// Observe one event.
     fn event(&self, ev: &EngineEvent);
+
+    /// Events this sink has *shed* (accepted the call but discarded the
+    /// event) so far — non-zero only for bounded sinks under a slow
+    /// consumer ([`ChannelSink`](crate::ChannelSink),
+    /// [`EventHub`](crate::EventHub)). Unbounded sinks keep the default 0.
+    /// The engine folds this into `EngineStats::events_dropped` at the end
+    /// of a run, so shedding is never silent.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// A sink that discards every event — the explicit form of "no
@@ -235,6 +285,10 @@ impl EventSink for TeeSink {
             sink.event(ev);
         }
     }
+
+    fn dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +351,37 @@ mod tests {
         assert!(cluster.contains_key("cluster_started"));
         assert!(!cluster.contains_key("run_started"));
         assert!(!cluster.contains_key("worker_idle"));
+    }
+
+    #[test]
+    fn event_json_is_one_line_with_kind_and_fields() {
+        let ev = EngineEvent::ClusterFinished {
+            name: "bus0_1\"q".into(),
+            cached: true,
+            elapsed: Duration::from_millis(3),
+        };
+        let json = ev.to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with("{\"kind\":\"cluster_finished\""));
+        assert!(json.contains("\"cached\":true"));
+        assert!(json.contains("\"elapsed_ms\":3"));
+        assert!(json.contains("bus0_1\\\"q"), "names must be escaped: {json}");
+        let run = EngineEvent::RunFinished {
+            victims: 2,
+            wall: Duration::from_millis(10),
+            cache_hits: 1,
+            degraded: 0,
+        };
+        assert!(run.to_json().contains("\"wall_ms\":10"));
+    }
+
+    #[test]
+    fn unbounded_sinks_report_zero_drops() {
+        let sink = CountingSink::new();
+        sink.event(&EngineEvent::ClusterQueued { name: "x".into() });
+        assert_eq!(EventSink::dropped(&sink), 0);
+        let tee = TeeSink::new(vec![std::sync::Arc::new(CountingSink::new())]);
+        assert_eq!(EventSink::dropped(&tee), 0);
     }
 
     #[test]

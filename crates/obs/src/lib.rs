@@ -15,6 +15,10 @@
 //! - **Channel** ([`EventChannel`]) — a bounded, lock-free-ish ring for
 //!   shipping events off the hot path to a consumer thread; when full it
 //!   drops (and counts) rather than blocking a worker.
+//! - **Fan-out** ([`EventHub`]) — a bounded archive with any number of
+//!   replaying subscribers ([`HubCursor`]), for serving one run's event
+//!   stream to several clients that may join mid-run; overflow is shed
+//!   and counted, never backpressure.
 //! - **Progress** ([`ProgressMonitor`], [`StderrStatusLine`]) — throughput,
 //!   EWMA-based ETA, per-stage completion, and a live single-line stderr
 //!   status display that auto-disables when stderr is not a TTY or
@@ -36,6 +40,7 @@
 pub mod alloc;
 pub mod channel;
 pub mod event;
+pub mod fanout;
 pub mod json;
 pub mod ledger;
 pub mod progress;
@@ -43,5 +48,6 @@ pub mod progress;
 pub use alloc::{mem, MemSnapshot, TrackingAlloc};
 pub use channel::{ChannelSink, EventChannel, EventReceiver};
 pub use event::{CountingSink, EngineEvent, EventSink, NullSink, TeeSink};
+pub use fanout::{CursorState, EventHub, HubCursor};
 pub use ledger::RunRecord;
 pub use progress::{ProgressMonitor, ProgressSnapshot, StderrStatusLine};

@@ -1,0 +1,96 @@
+//! The `pcv_serve` daemon binary: bind, serve, drain on SIGTERM/SIGINT.
+//!
+//! ```text
+//! pcv_serve [--addr 127.0.0.1:7171] [--data-dir DIR] [--queue N] [--port-file PATH]
+//! ```
+//!
+//! `--port-file` writes the bound address (one line, `host:port`) after a
+//! successful bind — CI boots the daemon on an ephemeral port (`:0`) and
+//! reads the real port back from this file.
+
+use pcv_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; the main loop polls it.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    TERMINATE.store(true, Ordering::Release);
+}
+
+/// Install `on_signal` for SIGTERM and SIGINT via the libc `signal(2)`
+/// entry point — the workspace is std-only, and this one symbol is in
+/// every libc std already links against.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pcv_serve [--addr HOST:PORT] [--data-dir DIR] [--queue N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7171".into(), ..ServerConfig::default() };
+    let mut port_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--data-dir" => cfg.data_dir = PathBuf::from(value("--data-dir")),
+            "--queue" => cfg.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    install_signal_handlers();
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pcv_serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    eprintln!("pcv_serve: listening on {addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("pcv_serve: cannot write port file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Serve until a signal or an over-the-wire POST /shutdown arrives,
+    // then drain: the in-flight run checkpoints and its journal stays
+    // resumable, queued runs are refused, the listener stops last.
+    while !TERMINATE.load(Ordering::Acquire) && !server.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("pcv_serve: draining");
+    server.join();
+    eprintln!("pcv_serve: stopped");
+}
+
+fn usage_for(flag: &str) -> String {
+    eprintln!("pcv_serve: {flag} needs a value");
+    usage()
+}

@@ -1,0 +1,50 @@
+//! # pcv-serve — resident verification-as-a-service
+//!
+//! Verification of a chip for parasitic-coupling violations has an
+//! expensive fixed prelude — parse the netlist/SPEF, elaborate drivers
+//! and characterize cells, partition the coupling graph — and a
+//! comparatively cheap iterative tail: run, inspect, adjust thresholds,
+//! run again. The batch flow pays the prelude on every invocation. This
+//! crate keeps the elaborated chip **resident**: a long-lived localhost
+//! daemon owns [`pcv_engine::ResidentChip`] sessions and serves runs,
+//! live event streams, mid-run verdicts, and durable sign-off artifacts
+//! over a minimal HTTP/1.1 + JSONL wire protocol.
+//!
+//! ## The API surface
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /sessions` | Load and elaborate a design once (DSP fixture or inline SPEF) |
+//! | `GET /sessions/{id}` | Session state: `parsed → elaborated → ready → running → completed` |
+//! | `POST /sessions/{id}/runs` | Queue a run with a per-run config overlay; 429 when the bounded queue is full |
+//! | `GET /runs/{id}/events` | Chunked JSONL live event stream, ending in a `stream_trailer` with delivered/dropped counts |
+//! | `GET /runs/{id}/verdicts?net=` | Per-net verdicts, including mid-run partials from the run's [`pcv_engine::VerdictSnapshot`] |
+//! | `GET /runs/{id}/signoff` | The durable sign-off document — byte-identical to the offline batch flow |
+//! | `POST /shutdown` | Graceful drain: the in-flight run checkpoints via [`pcv_engine::StopFlag`] and stays resumable |
+//!
+//! Every failure is a typed [`ApiError`] with exactly one HTTP status;
+//! engine-side contention ([`pcv_xtalk::XtalkError::Busy`]) surfaces as
+//! 429, not a generic 500.
+//!
+//! ## Determinism contract
+//!
+//! A served run and an offline [`pcv_engine::Engine::verify`] run of the
+//! same design with the same analysis knobs produce **byte-identical**
+//! sign-off documents: the engine's config fingerprint covers only
+//! result-affecting knobs, and worker count, event sinks and cache
+//! placement are all outside it. The load-test suite and the CI
+//! `serve-smoke` job both enforce this with byte comparisons.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, Response};
+pub use error::ApiError;
+pub use server::{Server, ServerConfig};
+pub use session::{DesignSpec, Session, SessionState, VictimSel};

@@ -1,0 +1,722 @@
+//! The daemon: a localhost TCP listener, a bounded run queue, and one
+//! executor thread that owns every engine run.
+//!
+//! Concurrency model, in one paragraph: *writes are serial, reads are
+//! concurrent*. All verification runs execute on a single executor thread
+//! (matching the engine's single-writer-per-cache-directory model — the
+//! advisory [`RunLock`](pcv_engine::RunLock) stays uncontended), fed by a
+//! bounded FIFO queue; a full queue answers a typed 429 instead of
+//! accepting unbounded work. Queries — event streams, mid-run verdicts,
+//! sign-off fetches — run on per-connection threads and never touch the
+//! run queue lock or the engine: they read the run's [`EventHub`] archive
+//! and [`VerdictSnapshot`], both designed for lock-free-ish concurrent
+//! reads while a run is in flight.
+//!
+//! Graceful shutdown (`POST /shutdown` or [`Server::initiate_shutdown`])
+//! raises the in-flight run's [`StopFlag`]: the engine drains — in-flight
+//! clusters finish and are checkpointed, queued clusters are skipped — so
+//! the session's journal on disk is resumable, either by a restarted
+//! daemon (`"resume": true` on the next run) or offline with
+//! [`Engine::resume`](pcv_engine::Engine::resume).
+
+use crate::error::ApiError;
+use crate::http::{self, ChunkedWriter, Request};
+use crate::session::{DesignSpec, Session, SessionState};
+use pcv_engine::fs::Fs;
+use pcv_engine::{Engine, EngineConfig, StopAfter, StopFlag, VerdictSnapshot};
+use pcv_obs::json::{parse, Value};
+use pcv_obs::{CursorState, EventHub, EventSink, TeeSink};
+use pcv_trace::json::{f64_bits, f64_lit, str_lit};
+use pcv_xtalk::{NetVerdict, XtalkError};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the daemon is provisioned.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (read it back with
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Directory for caches, journals, ledgers and sign-off artifacts.
+    pub data_dir: PathBuf,
+    /// Bounded run-queue capacity: submissions beyond this answer 429.
+    pub queue_capacity: usize,
+    /// Per-run event archive capacity; overflow is shed and counted in
+    /// the `/events` stream trailer.
+    pub hub_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: PathBuf::from("target/pcv_serve"),
+            queue_capacity: 8,
+            hub_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Where a run is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+enum RunState {
+    Queued,
+    Running,
+    Complete,
+    /// Stopped mid-run (shutdown drain or `stop_after`); the journal on
+    /// disk makes it resumable.
+    Interrupted,
+    Failed(ApiError),
+}
+
+impl RunState {
+    fn name(&self) -> &'static str {
+        match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Complete => "complete",
+            RunState::Interrupted => "interrupted",
+            RunState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Per-run configuration overlay posted with the run.
+#[derive(Debug, Clone, Default)]
+struct RunOverlay {
+    workers: Option<usize>,
+    warn_frac: Option<f64>,
+    fail_frac: Option<f64>,
+    check_receivers: Option<bool>,
+    /// Drill knob: stop cooperatively after this many cluster verdicts
+    /// (the served twin of `dsp_chip_signoff --stop-after`).
+    stop_after: Option<usize>,
+    /// Replay the session journal before running (complete an
+    /// interrupted run).
+    resume: bool,
+}
+
+impl RunOverlay {
+    fn from_json(body: &str) -> Result<RunOverlay, ApiError> {
+        if body.trim().is_empty() {
+            return Ok(RunOverlay::default());
+        }
+        let doc = parse(body).map_err(|e| ApiError::BadRequest(format!("run overlay: {e}")))?;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| ApiError::BadRequest("run overlay must be a JSON object".into()))?;
+        let mut overlay = RunOverlay::default();
+        for (key, value) in obj {
+            match key.as_str() {
+                "workers" => overlay.workers = Some(uint(value, key)?),
+                "warn_frac" => overlay.warn_frac = Some(float(value, key)?),
+                "fail_frac" => overlay.fail_frac = Some(float(value, key)?),
+                "check_receivers" => overlay.check_receivers = Some(boolean(value, key)?),
+                "stop_after" => overlay.stop_after = Some(uint(value, key)?),
+                "resume" => overlay.resume = boolean(value, key)?,
+                other => return Err(ApiError::BadRequest(format!("unknown run option {other:?}"))),
+            }
+        }
+        Ok(overlay)
+    }
+}
+
+fn uint(v: &Value, key: &str) -> Result<usize, ApiError> {
+    v.as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| ApiError::BadRequest(format!("{key} must be a non-negative integer")))
+}
+
+fn float(v: &Value, key: &str) -> Result<f64, ApiError> {
+    v.as_f64().ok_or_else(|| ApiError::BadRequest(format!("{key} must be a number")))
+}
+
+fn boolean(v: &Value, key: &str) -> Result<bool, ApiError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(ApiError::BadRequest(format!("{key} must be a boolean"))),
+    }
+}
+
+/// One submitted run: identity, live state, and the two concurrent-read
+/// surfaces (event archive, verdict snapshot).
+struct RunHandle {
+    id: String,
+    session: String,
+    state: Mutex<RunState>,
+    hub: Arc<EventHub>,
+    snapshot: Arc<VerdictSnapshot>,
+    total: usize,
+    overlay: RunOverlay,
+    signoff: Mutex<Option<String>>,
+}
+
+impl RunHandle {
+    fn state(&self) -> RunState {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    fn set_state(&self, next: RunState) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = next;
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    runs: RwLock<HashMap<String, Arc<RunHandle>>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    next_session: AtomicU64,
+    next_run: AtomicU64,
+    shutting_down: AtomicBool,
+    listener_stop: AtomicBool,
+    /// The in-flight run's stop flag, for the shutdown drain.
+    current_stop: Mutex<Option<StopFlag>>,
+}
+
+/// The resident verification daemon. [`Server::start`] binds and spawns
+/// the listener and executor; the handle is the control plane tests and
+/// the `pcv_serve` binary use.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`, create the data directory, and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Bind or directory-creation failures.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cfg,
+            sessions: RwLock::new(HashMap::new()),
+            runs: RwLock::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_session: AtomicU64::new(0),
+            next_run: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            listener_stop: AtomicBool::new(false),
+            current_stop: Mutex::new(None),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let exec_shared = Arc::clone(&shared);
+        let executor_thread = std::thread::spawn(move || executor_loop(exec_shared));
+        Ok(Server {
+            shared,
+            addr,
+            listener: Some(listener_thread),
+            executor: Some(executor_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin the graceful drain: refuse new sessions and runs, raise the
+    /// in-flight run's [`StopFlag`] so the engine checkpoints and returns,
+    /// and mark still-queued runs interrupted. Idempotent.
+    pub fn initiate_shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Whether a shutdown has been initiated (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Wait for the drain to finish: the executor exits after the
+    /// in-flight run checkpoints, then the listener stops accepting.
+    /// Implies [`Server::initiate_shutdown`].
+    pub fn join(mut self) {
+        self.initiate_shutdown();
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+        self.shared.listener_stop.store(true, Ordering::Release);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped (not joined) server still stops its threads.
+        initiate_shutdown(&self.shared);
+        self.shared.listener_stop.store(true, Ordering::Release);
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutting_down.store(true, Ordering::Release);
+    if let Some(stop) = &*shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner) {
+        stop.stop();
+    }
+    // Wake the executor so it can observe the flag and drain the queue.
+    shared.queue_cv.notify_all();
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.listener_stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let err = ApiError::BadRequest(e.to_string());
+            let (status, reason, _) = err.status();
+            let _ = http::respond_json(&mut stream, status, reason, &err.to_json());
+            return;
+        }
+    };
+    // The events route streams and owns the connection; everything else
+    // produces one JSON document (or a typed error).
+    let segments: Vec<String> = request.segments().iter().map(|s| s.to_string()).collect();
+    let names: Vec<&str> = segments.iter().map(String::as_str).collect();
+    if request.method == "GET" && names.len() == 3 && names[0] == "runs" && names[2] == "events" {
+        stream_events(&mut stream, &shared, names[1]);
+        return;
+    }
+    let outcome: Result<String, ApiError> = route(&request, &names, &shared);
+    match outcome {
+        Ok(body) => {
+            let _ = http::respond_json(&mut stream, 200, "OK", &body);
+        }
+        Err(err) => {
+            let (status, reason, _) = err.status();
+            let _ = http::respond_json(&mut stream, status, reason, &err.to_json());
+        }
+    }
+}
+
+fn route(request: &Request, names: &[&str], shared: &Arc<Shared>) -> Result<String, ApiError> {
+    match (request.method.as_str(), names) {
+        ("GET", ["healthz"]) => Ok(format!(
+            "{{\"ok\":true,\"sessions\":{},\"runs\":{},\"draining\":{}}}",
+            shared.sessions.read().unwrap_or_else(PoisonError::into_inner).len(),
+            shared.runs.read().unwrap_or_else(PoisonError::into_inner).len(),
+            shared.shutting_down.load(Ordering::Acquire)
+        )),
+        ("POST", ["shutdown"]) => {
+            initiate_shutdown(shared);
+            Ok("{\"draining\":true}".to_owned())
+        }
+        ("POST", ["sessions"]) => create_session(shared, &request.body),
+        ("GET", ["sessions", sid]) => Ok(lookup_session(shared, sid)?.info_json()),
+        ("POST", ["sessions", sid, "runs"]) => submit_run(shared, sid, &request.body),
+        ("GET", ["runs", rid, "verdicts"]) => verdicts(shared, rid, request.query_get("net")),
+        ("GET", ["runs", rid, "signoff"]) => signoff(shared, rid),
+        _ => Err(ApiError::NotFound(format!("no route for {} {}", request.method, request.path))),
+    }
+}
+
+fn lookup_session(shared: &Shared, sid: &str) -> Result<Arc<Session>, ApiError> {
+    shared
+        .sessions
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(sid)
+        .cloned()
+        .ok_or_else(|| ApiError::NotFound(format!("no session {sid:?}")))
+}
+
+fn lookup_run(shared: &Shared, rid: &str) -> Result<Arc<RunHandle>, ApiError> {
+    shared
+        .runs
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(rid)
+        .cloned()
+        .ok_or_else(|| ApiError::NotFound(format!("no run {rid:?}")))
+}
+
+fn create_session(shared: &Arc<Shared>, body: &str) -> Result<String, ApiError> {
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return Err(ApiError::Busy("daemon is draining".into()));
+    }
+    let spec = DesignSpec::from_json(body)?;
+    let id = format!("s{}", shared.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+    // Elaboration (the expensive one-time task) runs on this connection's
+    // thread — the executor and other queries are unaffected.
+    let session = Arc::new(Session::build(id.clone(), &spec, &shared.cfg.data_dir)?);
+    let info = session.info_json();
+    shared.sessions.write().unwrap_or_else(PoisonError::into_inner).insert(id, session);
+    Ok(info)
+}
+
+fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, ApiError> {
+    let overlay = RunOverlay::from_json(body)?;
+    let session = lookup_session(shared, sid)?;
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return Err(ApiError::Busy("daemon is draining".into()));
+    }
+    let id = format!("r{}", shared.next_run.fetch_add(1, Ordering::Relaxed) + 1);
+    let run = Arc::new(RunHandle {
+        id: id.clone(),
+        session: session.id.clone(),
+        state: Mutex::new(RunState::Queued),
+        hub: Arc::new(EventHub::new(shared.cfg.hub_capacity)),
+        snapshot: Arc::new(VerdictSnapshot::new()),
+        total: session.chip.victims().len(),
+        overlay,
+        signoff: Mutex::new(None),
+    });
+    {
+        // Bounded backpressure: the queue admits at most queue_capacity
+        // *waiting* runs; beyond that the caller gets a typed 429 and
+        // retries later. Nothing blocks.
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= shared.cfg.queue_capacity {
+            return Err(ApiError::Busy(format!(
+                "run queue full ({} waiting, capacity {})",
+                queue.len(),
+                shared.cfg.queue_capacity
+            )));
+        }
+        shared
+            .runs
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id.clone(), Arc::clone(&run));
+        queue.push_back(id.clone());
+    }
+    shared.queue_cv.notify_one();
+    Ok(format!(
+        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{}}}",
+        str_lit(&id),
+        str_lit(sid),
+        run.total
+    ))
+}
+
+/// Render one verdict in the exact shape `ChipReport::to_json` uses
+/// (readable decimal + exact IEEE-754 bits per float), so a client can
+/// byte-compare served verdicts against sign-off documents.
+fn verdict_json(v: &NetVerdict) -> String {
+    let mut out = String::new();
+    let float = |out: &mut String, key: &str, x: f64| {
+        out.push_str(&format!("\"{key}\":{},\"{key}_bits\":{}", f64_lit(x), f64_bits(x)));
+    };
+    out.push_str(&format!("{{\"net\":{},\"name\":{},", v.net.0, str_lit(&v.name)));
+    float(&mut out, "rise_peak", v.rise_peak);
+    out.push(',');
+    float(&mut out, "fall_peak", v.fall_peak);
+    out.push(',');
+    float(&mut out, "worst_frac", v.worst_frac);
+    out.push_str(&format!(
+        ",\"severity\":{},\"cluster_size\":{},\"neighbors_before\":{}",
+        str_lit(&v.severity.to_string()),
+        v.cluster_size,
+        v.neighbors_before
+    ));
+    out.push_str(",\"receiver\":");
+    match &v.receiver {
+        Some(r) => {
+            out.push_str(&format!("{{\"cell\":{},", str_lit(&r.cell)));
+            float(&mut out, "output_peak", r.output_peak);
+            out.push_str(&format!(",\"propagates\":{}}}", r.propagates));
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+fn verdicts(shared: &Shared, rid: &str, net: Option<&str>) -> Result<String, ApiError> {
+    let run = lookup_run(shared, rid)?;
+    let listed: Vec<NetVerdict> = match net {
+        Some(name) => {
+            let session = lookup_session(shared, &run.session)?;
+            if !session.chip.is_victim(name) {
+                // The typed engine-side error, mapped through From so the
+                // wire sees 400 with the offending name.
+                return Err(ApiError::from(XtalkError::BadRequest {
+                    what: format!("net {name:?} is not a victim of session {}", run.session),
+                }));
+            }
+            run.snapshot.get(name).into_iter().collect()
+        }
+        None => run.snapshot.all(),
+    };
+    let mut out = format!(
+        "{{\"run\":{},\"state\":{},\"completed\":{},\"total\":{},\"verdicts\":[",
+        str_lit(rid),
+        str_lit(run.state().name()),
+        run.snapshot.len(),
+        run.total
+    );
+    for (i, v) in listed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&verdict_json(v));
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn signoff(shared: &Shared, rid: &str) -> Result<String, ApiError> {
+    match lookup_run(shared, rid) {
+        Ok(run) => match run.state() {
+            RunState::Complete => {
+                if let Some(bytes) =
+                    run.signoff.lock().unwrap_or_else(PoisonError::into_inner).clone()
+                {
+                    return Ok(bytes);
+                }
+                signoff_from_ledger(shared, rid)
+            }
+            RunState::Failed(err) => Err(err),
+            other => Err(ApiError::Conflict(format!(
+                "run {rid} is {} — no sign-off artifact yet",
+                other.name()
+            ))),
+        },
+        // Unknown to this process: maybe a previous daemon instance ran
+        // it. The durable run ledger is the source of truth.
+        Err(not_found) => signoff_from_ledger(shared, rid).map_err(|e| match e {
+            ApiError::NotFound(_) => not_found,
+            other => other,
+        }),
+    }
+}
+
+/// Fetch a sign-off artifact by run id through the daemon's durable run
+/// ledger (`<data_dir>/runs.jsonl`) — works across daemon restarts.
+fn signoff_from_ledger(shared: &Shared, rid: &str) -> Result<String, ApiError> {
+    let ledger = shared.cfg.data_dir.join("runs.jsonl");
+    let text = std::fs::read_to_string(&ledger)
+        .map_err(|_| ApiError::NotFound(format!("no recorded run {rid:?}")))?;
+    // Scan newest-last; a torn trailing line parses as an error and is
+    // skipped, exactly like the engine-side ledger scan.
+    let mut artifact: Option<String> = None;
+    for line in text.lines() {
+        if let Ok(doc) = parse(line) {
+            if doc.get("run").and_then(Value::as_str) == Some(rid)
+                && doc.get("outcome").and_then(Value::as_str) == Some("complete")
+            {
+                artifact = doc.get("artifact").and_then(Value::as_str).map(str::to_owned);
+            }
+        }
+    }
+    let path = artifact.ok_or_else(|| ApiError::NotFound(format!("no recorded run {rid:?}")))?;
+    std::fs::read_to_string(&path)
+        .map_err(|e| ApiError::Internal(format!("artifact {path} unreadable: {e}")))
+}
+
+fn stream_events(stream: &mut TcpStream, shared: &Shared, rid: &str) {
+    let run = match lookup_run(shared, rid) {
+        Ok(run) => run,
+        Err(err) => {
+            let (status, reason, _) = err.status();
+            let _ = http::respond_json(stream, status, reason, &err.to_json());
+            return;
+        }
+    };
+    let mut cursor = run.hub.subscribe();
+    let Ok(mut writer) = ChunkedWriter::begin(stream, "application/jsonl") else {
+        return;
+    };
+    loop {
+        match cursor.poll() {
+            Ok(event) => {
+                if writer.line(&event.to_json()).is_err() {
+                    return; // client hung up
+                }
+            }
+            Err(CursorState::Open) => std::thread::sleep(Duration::from_millis(5)),
+            Err(CursorState::Closed) => break,
+        }
+    }
+    // The stream trailer: how much this subscriber got and how much the
+    // bounded archive shed — dropped events are counted, never silent.
+    let trailer = format!(
+        "{{\"kind\":\"stream_trailer\",\"run\":{},\"state\":{},\"delivered\":{},\"dropped\":{}}}",
+        str_lit(rid),
+        str_lit(run.state().name()),
+        cursor.delivered(),
+        cursor.dropped()
+    );
+    if writer.line(&trailer).is_ok() {
+        let _ = writer.finish();
+    }
+}
+
+fn executor_loop(shared: Arc<Shared>) {
+    loop {
+        let next = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break Some(id);
+                }
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        let Some(run_id) = next else {
+            return;
+        };
+        if shared.shutting_down.load(Ordering::Acquire) {
+            // Draining: queued-but-unstarted runs are not executed; their
+            // sessions were never touched, so nothing needs resuming.
+            if let Ok(run) = lookup_run(&shared, &run_id) {
+                run.set_state(RunState::Interrupted);
+                run.hub.close();
+            }
+            continue;
+        }
+        execute_run(&shared, &run_id);
+    }
+}
+
+fn execute_run(shared: &Shared, run_id: &str) {
+    let Ok(run) = lookup_run(shared, run_id) else {
+        return;
+    };
+    let Ok(session) = lookup_session(shared, &run.session) else {
+        run.set_state(RunState::Failed(ApiError::Internal("session vanished".into())));
+        run.hub.close();
+        return;
+    };
+    run.set_state(RunState::Running);
+    session.set_state(SessionState::Running);
+
+    let stop = StopFlag::new();
+    {
+        let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = Some(stop.clone());
+    }
+    // Close the race with a shutdown that arrived between queue pop and
+    // flag install: drain immediately instead of running blind.
+    if shared.shutting_down.load(Ordering::Acquire) {
+        stop.stop();
+    }
+
+    let hub_sink: Arc<dyn EventSink> = Arc::clone(&run.hub) as Arc<dyn EventSink>;
+    let sink: Arc<dyn EventSink> = match run.overlay.stop_after {
+        Some(n) => Arc::new(TeeSink::new(vec![
+            hub_sink,
+            Arc::new(StopAfter::new(stop.clone(), n)) as Arc<dyn EventSink>,
+        ])),
+        None => hub_sink,
+    };
+    let mut cfg = EngineConfig {
+        workers: run.overlay.workers.unwrap_or(0),
+        cache_path: Some(session.cache_path.clone()),
+        sink: Some(sink),
+        ..EngineConfig::default()
+    };
+    if let Some(w) = run.overlay.warn_frac {
+        cfg.warn_frac = w;
+    }
+    if let Some(f) = run.overlay.fail_frac {
+        cfg.fail_frac = f;
+    }
+    if let Some(c) = run.overlay.check_receivers {
+        cfg.check_receivers = c;
+    }
+    cfg.durable.stop = Some(stop.clone());
+
+    let engine = Engine::new(cfg);
+    let outcome = if run.overlay.resume {
+        engine.resume_resident(&session.chip, Some(&run.snapshot))
+    } else {
+        engine.verify_resident(&session.chip, Some(&run.snapshot))
+    };
+    {
+        let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = None;
+    }
+
+    match outcome {
+        Ok(report) if report.interrupted => {
+            run.set_state(RunState::Interrupted);
+            ledger_append(shared, &run, "interrupted", None);
+        }
+        Ok(report) => {
+            let bytes = report.signoff_json();
+            let artifact = shared.cfg.data_dir.join(format!("run-{}.signoff.json", run.id));
+            // The durable artifact is written atomically, then recorded in
+            // the run ledger — a crash between the two loses the ledger
+            // line, never serves a torn document.
+            let stored = Fs::real().write_atomic(&artifact, bytes.as_bytes()).is_ok();
+            *run.signoff.lock().unwrap_or_else(PoisonError::into_inner) = Some(bytes);
+            run.set_state(RunState::Complete);
+            ledger_append(shared, &run, "complete", stored.then_some(artifact));
+        }
+        Err(e) => {
+            run.set_state(RunState::Failed(ApiError::from(e)));
+            ledger_append(shared, &run, "failed", None);
+        }
+    }
+    run.hub.close();
+    session.set_state(SessionState::Completed);
+}
+
+/// Append one line to the daemon's durable run ledger
+/// (`<data_dir>/runs.jsonl`): run id → outcome (+ artifact path when one
+/// was published). Best-effort, fsync'd.
+fn ledger_append(shared: &Shared, run: &RunHandle, outcome: &str, artifact: Option<PathBuf>) {
+    let ledger = shared.cfg.data_dir.join("runs.jsonl");
+    let mut line = format!(
+        "{{\"run\":{},\"session\":{},\"outcome\":{},\"victims\":{}",
+        str_lit(&run.id),
+        str_lit(&run.session),
+        str_lit(outcome),
+        run.total
+    );
+    if let Some(path) = artifact {
+        line.push_str(&format!(",\"artifact\":{}", str_lit(&path.display().to_string())));
+    }
+    line.push_str("}\n");
+    let _ = Fs::real().append_durable(&ledger, line.as_bytes());
+}

@@ -36,6 +36,15 @@ pub enum XtalkError {
         /// Pid recorded by the holder.
         pid: u32,
     },
+    /// A request from outside the library (a service call, a CLI flag, a
+    /// wire payload) was malformed or referenced something that does not
+    /// exist. Unlike [`XtalkError::InvalidConfig`], which covers
+    /// statically-known inconsistencies, the offending input is dynamic —
+    /// so the description is owned.
+    BadRequest {
+        /// What was wrong with the request.
+        what: String,
+    },
 }
 
 impl fmt::Display for XtalkError {
@@ -50,6 +59,7 @@ impl fmt::Display for XtalkError {
             XtalkError::Busy { path, pid } => {
                 write!(f, "run lock {path:?} is held by live pid {pid}")
             }
+            XtalkError::BadRequest { what } => write!(f, "bad request: {what}"),
         }
     }
 }
@@ -100,6 +110,9 @@ mod tests {
         assert!(e.to_string().contains("mix"));
         let e = XtalkError::Busy { path: "/tmp/c.lock".into(), pid: 4242 };
         assert!(e.to_string().contains("4242"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = XtalkError::BadRequest { what: "no such net \"bus9_9\"".into() };
+        assert!(e.to_string().contains("bus9_9"));
         assert!(std::error::Error::source(&e).is_none());
     }
 }
