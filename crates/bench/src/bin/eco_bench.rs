@@ -1,0 +1,269 @@
+//! `eco_bench`: the CI benchmark-regression gate over incremental ECO
+//! re-verification.
+//!
+//! The workload is a 2048-net tiled wire field (512 independent 4-wire
+//! tiles, six empty tracks apart so the extractor's coupling cutoff keeps
+//! tiles decoupled). One cold sign-off over the whole chip seeds the
+//! session cache and provides the denominator; each timed repetition then
+//! applies a <0.1% ECO — one ground-cap edit on one net — and re-verifies
+//! through [`Engine::eco_verify_resident`], which re-analyzes only the
+//! dirty clusters and splices the other ~2044 verdicts from the warm
+//! cache. Repetitions alternate between two edit variants so every
+//! iteration pays real dirty-cluster work instead of a pure cache hit.
+//!
+//! The report gates two ways under `--check`:
+//!
+//! 1. the noise-aware regression gate in [`pcv_bench::regression`] over
+//!    the ECO median against the checked-in `BENCH_eco.json` baseline;
+//! 2. a hard floor: the cold/ECO speedup must be at least
+//!    [`MIN_SPEEDUP`]× — the headline incremental-re-verification claim.
+//!
+//! ```text
+//! cargo run --release -p pcv-bench --bin eco_bench              # measure
+//! cargo run --release -p pcv-bench --bin eco_bench -- --check  # gate
+//! cargo run --release -p pcv-bench --bin eco_bench -- --bless  # new baseline
+//! ```
+
+use pcv_bench::regression::{self, BenchReport, DEFAULT_THRESHOLD};
+use pcv_designs::extract::{extract, WireGeom};
+use pcv_designs::Technology;
+use pcv_engine::{Engine, EngineConfig, ResidentChip};
+use pcv_netlist::{PNetId, ParasiticDb};
+use pcv_obs::{mem, TrackingAlloc};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+// The binary installs the instrumented allocator so the report's
+// peak_alloc_bytes reflects the real workload footprint.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::system();
+
+const BENCH_NAME: &str = "eco_splice_tiles2048";
+const TILES: usize = 512;
+const WIRES_PER_TILE: usize = 4;
+const WIRE_LENGTH: f64 = 500e-6;
+/// The headline claim the gate enforces: a 0.1% edit re-verifies at least
+/// this much faster than the cold sign-off.
+const MIN_SPEEDUP: f64 = 100.0;
+
+fn baseline_default() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/BENCH_eco.json")
+}
+
+struct Args {
+    iters: usize,
+    warmup: usize,
+    out: PathBuf,
+    baseline: PathBuf,
+    threshold: f64,
+    check: bool,
+    bless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 9,
+        warmup: 1,
+        out: PathBuf::from("BENCH_eco.json"),
+        baseline: baseline_default(),
+        threshold: DEFAULT_THRESHOLD,
+        check: false,
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--iters" => args.iters = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--warmup" => args.warmup = value("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--check" => args.check = true,
+            "--bless" => args.bless = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+/// Extract the tiled wire field: `TILES` groups of `WIRES_PER_TILE`
+/// minimum-pitch wires, each group six empty tracks from the next so
+/// inter-tile coupling falls past the extractor's cutoff and the tiles
+/// are genuinely independent clusters.
+fn tiled_field(tech: &Technology) -> ParasiticDb {
+    let seg = (WIRE_LENGTH / 20.0).clamp(5e-6, 50e-6);
+    let mut wires = Vec::with_capacity(TILES * WIRES_PER_TILE);
+    for t in 0..TILES {
+        for w in 0..WIRES_PER_TILE {
+            let track = (t * (WIRES_PER_TILE + 6) + w) as i64;
+            wires.push(WireGeom::min_width(format!("t{t}_w{w}"), track, 0.0, WIRE_LENGTH, tech));
+        }
+    }
+    extract(&wires, tech, seg)
+}
+
+/// The 0.1% ECO: scale one net's first ground capacitor. Rebuilding the
+/// database from the same extraction and editing one element is exactly
+/// what a SPEF re-extraction of a one-net fix produces.
+fn perturbed(base: &Technology, net: &str, scale: f64) -> ParasiticDb {
+    let mut db = tiled_field(base);
+    let id = db.find_net(net).expect("edited net exists");
+    let edited = db.net(id);
+    let (node, farads) = *edited.ground_caps().first().expect("edited net has a ground cap");
+    // NetParasitics has no in-place editor (parasitics are append-only by
+    // design), so rebuild the one net with the scaled cap.
+    let mut rebuilt = pcv_netlist::NetParasitics::new(edited.name());
+    for _ in 1..edited.num_nodes() {
+        rebuilt.add_node();
+    }
+    for &(a, b, ohms) in edited.resistors() {
+        rebuilt.add_resistor(a, b, ohms);
+    }
+    for &(n, c) in edited.ground_caps() {
+        rebuilt.add_ground_cap(n, if n == node && c == farads { c * scale } else { c });
+    }
+    for &n in edited.load_nodes() {
+        rebuilt.mark_load(n);
+    }
+    *db.net_mut(id) = rebuilt;
+    db
+}
+
+fn chip(db: ParasiticDb) -> ResidentChip {
+    let victims: Vec<PNetId> = (0..db.num_nets()).map(PNetId).collect();
+    ResidentChip::fixed_resistance(db, 1000.0, victims)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("eco_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tech = Technology::c025();
+    let cache_dir = std::env::temp_dir().join(format!("pcv-eco-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("bench cache dir");
+    let cache = cache_dir.join("chip.cache");
+    let mk_engine = || {
+        Engine::new(EngineConfig {
+            workers: 0,
+            cache_path: Some(cache.clone()),
+            ..Default::default()
+        })
+    };
+
+    // Two edit variants of the same net: alternating between them keeps
+    // every timed ECO run's dirty clusters genuinely stale in the cache.
+    let base = chip(tiled_field(&tech));
+    let total = base.victims().len();
+    let variants = [chip(perturbed(&tech, "t0_w0", 1.01)), chip(perturbed(&tech, "t0_w0", 1.02))];
+
+    // The denominator: one cold sign-off over the whole chip, which also
+    // seeds the session cache for the incremental runs.
+    let t0 = Instant::now();
+    let cold = mk_engine().verify_resident(&base, None).expect("cold sign-off verifies");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.chip.verdicts.len(), total, "bench workload must stay intact");
+    assert_eq!(cold.stats.cache_misses, total, "cold run must analyze everything");
+
+    let run_eco = |prev: &ResidentChip, next: &ResidentChip, timed: bool| -> f64 {
+        let t0 = Instant::now();
+        let outcome =
+            mk_engine().eco_verify_resident(prev, next, false, None).expect("eco run verifies");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(outcome.report.chip.verdicts.len(), total);
+        if timed {
+            // The point of the bench: only the dirty clusters re-analyze.
+            assert_eq!(
+                outcome.report.stats.cache_misses,
+                outcome.plan.dirty.len(),
+                "spliced run re-analyzed more than the plan's dirty set"
+            );
+            assert!(
+                outcome.plan.dirty.len() <= WIRES_PER_TILE,
+                "a one-net edit must stay inside its tile: {:?}",
+                outcome.plan.dirty
+            );
+        }
+        elapsed_ms
+    };
+
+    let mut prev = &base;
+    for i in 0..args.warmup {
+        let next = &variants[i % 2];
+        run_eco(prev, next, false);
+        prev = next;
+    }
+    mem::reset_peak();
+    let mut samples_ms = Vec::with_capacity(args.iters);
+    for i in 0..args.iters {
+        let next = &variants[(args.warmup + i) % 2];
+        samples_ms.push(run_eco(prev, next, true));
+        prev = next;
+    }
+    let peak = mem::snapshot().map_or(0, |s| s.peak_bytes);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let report = regression::summarize(BENCH_NAME, args.warmup, samples_ms, peak);
+    let speedup = cold_ms / report.median_ms;
+    eprintln!(
+        "eco_bench: {} — cold {:.1} ms, eco median {:.3} ms ({speedup:.0}x), mad {:.3} ms, \
+         peak heap {:.2} MiB",
+        report.bench,
+        cold_ms,
+        report.median_ms,
+        report.mad_ms,
+        report.peak_alloc_bytes as f64 / (1024.0 * 1024.0)
+    );
+    if let Err(e) = report.write(&args.out) {
+        eprintln!("eco_bench: cannot write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("{}", report.to_json());
+
+    if args.bless {
+        if let Some(dir) = args.baseline.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = report.write(&args.baseline) {
+            eprintln!("eco_bench: cannot bless {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("eco_bench: blessed new baseline at {}", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if args.check {
+        if speedup < MIN_SPEEDUP {
+            eprintln!(
+                "eco_bench: FAIL — 0.1% edit re-verified only {speedup:.1}x faster than cold \
+                 (floor {MIN_SPEEDUP}x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(baseline) = BenchReport::read(&args.baseline) else {
+            eprintln!(
+                "eco_bench: no readable baseline at {} (seed one with --bless)",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        };
+        let verdict = regression::gate(&baseline, &report, args.threshold);
+        eprintln!("eco_bench: {}", verdict.detail);
+        if verdict.regressed {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -76,6 +76,7 @@
 
 pub mod cache;
 pub mod durable;
+pub mod eco;
 pub mod engine;
 pub mod fingerprint;
 pub mod fs;
@@ -89,6 +90,7 @@ pub use durable::{
     DurableConfig, Journal, JournalEntry, JournalLoad, LockError, ReplayAttempt, ReplayDegradation,
     RunLock, StopAfter, StopFlag,
 };
+pub use eco::{EcoOutcome, EcoPlan};
 pub use engine::{Engine, EngineConfig};
 pub use fingerprint::{chip_slice_fingerprint, cluster_fingerprint, config_hash, Fnv1a};
 pub use fs::{crc32, DiskFaultPlan, Fs, FsFaultKind};

@@ -12,6 +12,8 @@
 //! * [`Design`] — a gate-level design: cell instances, nets, drivers, loads,
 //!   switching windows and logic-correlation annotations.
 //! * [`spef`] — a SPEF-like text exchange format for [`ParasiticDb`].
+//! * [`eco`] — typed deltas ([`EcoDelta`]) between two parasitic
+//!   databases, the front end of incremental (ECO) re-verification.
 //! * [`deck`] — a SPICE-like text format for [`Circuit`].
 //!
 //! # Example
@@ -32,6 +34,7 @@
 pub mod circuit;
 pub mod deck;
 pub mod design;
+pub mod eco;
 pub mod parasitics;
 pub mod spef;
 pub mod termination;
@@ -40,6 +43,7 @@ pub mod waveform;
 
 pub use circuit::{Circuit, Element, MosKind, MosParams, NodeId};
 pub use design::{Design, InstanceId, NetId};
+pub use eco::{CouplingEdit, EcoDelta, GcapEdit, NetDelta, ResEdit, ValueEdit};
 pub use parasitics::{CouplingCap, NetNodeRef, NetParasitics, PNetId, ParasiticDb};
 pub use termination::{
     CapacitiveTermination, ResistiveTermination, Termination, TheveninTermination,

@@ -111,13 +111,18 @@ impl NetParasitics {
 
     /// Add a grounded capacitor at a node.
     ///
+    /// A negative zero is stored as canonical `+0.0`: the two zeros are
+    /// electrically identical but differ in bits, and downstream consumers
+    /// (ECO diffs, cluster fingerprints) compare capacitances bit-exactly.
+    ///
     /// # Panics
     ///
     /// Panics on out-of-range node or negative capacitance.
     pub fn add_ground_cap(&mut self, node: usize, farads: f64) {
         assert!(node < self.num_nodes, "cap node out of range");
         assert!(farads >= 0.0 && farads.is_finite(), "capacitance must be non-negative");
-        self.gcaps.push((node, farads));
+        // IEEE: -0.0 + 0.0 == +0.0, nonzero values are unchanged.
+        self.gcaps.push((node, farads + 0.0));
     }
 
     /// Mark a node as a receiver (load) pin.
@@ -216,6 +221,10 @@ impl ParasiticDb {
 
     /// Add a coupling capacitor between nodes of two different nets.
     ///
+    /// As with [`NetParasitics::add_ground_cap`], a negative zero is
+    /// stored as canonical `+0.0` so that bit-exact consumers (ECO diffs,
+    /// cluster fingerprints) never see two spellings of the same zero.
+    ///
     /// # Panics
     ///
     /// Panics if the endpoints are on the same net, reference invalid
@@ -226,7 +235,7 @@ impl ParasiticDb {
         assert!(b.node < self.nets[b.net.0].num_nodes, "coupling node out of range");
         assert!(farads >= 0.0 && farads.is_finite(), "capacitance must be non-negative");
         let idx = self.couplings.len();
-        self.couplings.push(CouplingCap { a, b, farads });
+        self.couplings.push(CouplingCap { a, b, farads: farads + 0.0 });
         self.net_couplings[a.net.0].push(idx);
         self.net_couplings[b.net.0].push(idx);
         idx

@@ -205,6 +205,7 @@ pub fn parse_spef(text: &str) -> Result<ParasiticDb, ParseSpefError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PNetId;
 
     fn sample_db() -> ParasiticDb {
         let mut db = ParasiticDb::new();
@@ -283,5 +284,77 @@ mod tests {
     fn negative_values_rejected() {
         assert!(parse_spef("*NET a 2\n*R 0 1 -5\n*END\n").is_err());
         assert!(parse_spef("*NET a 2\n*GC 1 -1e-15\n*END\n").is_err());
+    }
+
+    /// A database exercising the zero-cap edge: explicit `0.0` ground and
+    /// coupling capacitors alongside ordinary values.
+    fn zero_cap_db() -> ParasiticDb {
+        let mut db = sample_db();
+        let a = db.find_net("alpha").unwrap();
+        let b = db.find_net("beta").unwrap();
+        db.net_mut(a).add_ground_cap(0, 0.0);
+        db.add_coupling(NetNodeRef { net: a, node: 2 }, NetNodeRef { net: b, node: 0 }, 0.0);
+        db
+    }
+
+    #[test]
+    fn zero_cap_entries_round_trip_byte_identically() {
+        // ECO regression: a zero-farad entry is electrically inert but
+        // enters the canonical cluster fingerprints, so write -> parse ->
+        // write must preserve it exactly — the diff layer would otherwise
+        // report phantom edits (or miss real ones) on every rewrite.
+        let db = zero_cap_db();
+        let text = write_spef(&db);
+        assert!(text.contains("*GC 0 0e0\n"), "zero gcap must be emitted:\n{text}");
+        assert!(text.contains("*CC alpha 2 beta 0 0e0\n"), "zero coupling must be emitted");
+        let back = parse_spef(&text).expect("round-trip parses");
+        assert_eq!(write_spef(&back), text, "re-emission must be byte-identical");
+        assert!(
+            crate::eco::EcoDelta::diff(&db, &back).is_empty(),
+            "round-trip must not produce phantom ECO edits"
+        );
+    }
+
+    #[test]
+    fn negative_zero_caps_normalize_to_canonical_zero() {
+        // `-0.0` passes the non-negativity check (it is not `< 0.0`) but
+        // differs from `+0.0` in bits. The data model canonicalizes it on
+        // entry, so an external tool flipping the sign of a zero cap can
+        // never dirty a cluster or surface as a phantom ECO edit.
+        let text = "*NET a 2\n*GC 1 -0e0\n*END\n*NET b 1\n*END\n*CC a 1 b 0 -0.0\n";
+        let db = parse_spef(text).expect("-0.0 caps parse");
+        let a = db.find_net("a").unwrap();
+        assert_eq!(db.net(a).ground_caps()[0].1.to_bits(), 0.0f64.to_bits());
+        assert_eq!(db.couplings()[0].farads.to_bits(), 0.0f64.to_bits());
+        let reemitted = write_spef(&db);
+        assert!(!reemitted.contains("-0e0"), "canonical zero only:\n{reemitted}");
+        // Diffing against the same netlist written with +0.0 is a no-op.
+        let plus = parse_spef(&reemitted).unwrap();
+        assert!(crate::eco::EcoDelta::diff(&db, &plus).is_empty());
+    }
+
+    #[test]
+    fn extreme_values_round_trip_bit_exactly() {
+        // The `{:e}` emitter must round-trip every finite f64 the data
+        // model accepts: subnormals, the largest normal, odd mantissas.
+        let mut db = ParasiticDb::new();
+        let mut n = NetParasitics::new("x");
+        let n1 = n.add_node();
+        n.add_resistor(0, n1, f64::MAX);
+        n.add_resistor(0, n1, f64::MIN_POSITIVE);
+        n.add_ground_cap(n1, 5e-324); // smallest subnormal
+        n.add_ground_cap(n1, 0.1 + 0.2); // a value with no short decimal
+        db.add_net(n);
+        let text = write_spef(&db);
+        let back = parse_spef(&text).expect("parses");
+        let orig = db.net(PNetId(0));
+        let got = back.net(PNetId(0));
+        for (a, b) in orig.resistors().iter().zip(got.resistors()) {
+            assert_eq!(a.2.to_bits(), b.2.to_bits(), "resistance bits drifted");
+        }
+        for (a, b) in orig.ground_caps().iter().zip(got.ground_caps()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "capacitance bits drifted");
+        }
+        assert_eq!(write_spef(&back), text);
     }
 }

@@ -23,7 +23,10 @@ use crate::error::ApiError;
 use crate::http::{self, ChunkedWriter, Request};
 use crate::session::{DesignSpec, Session, SessionState};
 use pcv_engine::fs::Fs;
-use pcv_engine::{Engine, EngineConfig, StopAfter, StopFlag, VerdictSnapshot};
+use pcv_engine::{
+    EcoPlan, Engine, EngineConfig, ResidentChip, StopAfter, StopFlag, VerdictSnapshot,
+};
+use pcv_netlist::eco::EcoDelta;
 use pcv_obs::json::{parse, Value};
 use pcv_obs::{CursorState, EventHub, EventSink, TeeSink};
 use pcv_trace::json::{f64_bits, f64_lit, str_lit};
@@ -102,6 +105,22 @@ struct RunOverlay {
 }
 
 impl RunOverlay {
+    /// Consume one `key: value` pair if it names an overlay option;
+    /// `Ok(false)` means the key is not an overlay's (the caller decides
+    /// whether that is an error).
+    fn apply(&mut self, key: &str, value: &Value) -> Result<bool, ApiError> {
+        match key {
+            "workers" => self.workers = Some(uint(value, key)?),
+            "warn_frac" => self.warn_frac = Some(float(value, key)?),
+            "fail_frac" => self.fail_frac = Some(float(value, key)?),
+            "check_receivers" => self.check_receivers = Some(boolean(value, key)?),
+            "stop_after" => self.stop_after = Some(uint(value, key)?),
+            "resume" => self.resume = boolean(value, key)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
     fn from_json(body: &str) -> Result<RunOverlay, ApiError> {
         if body.trim().is_empty() {
             return Ok(RunOverlay::default());
@@ -112,17 +131,34 @@ impl RunOverlay {
             .ok_or_else(|| ApiError::BadRequest("run overlay must be a JSON object".into()))?;
         let mut overlay = RunOverlay::default();
         for (key, value) in obj {
-            match key.as_str() {
-                "workers" => overlay.workers = Some(uint(value, key)?),
-                "warn_frac" => overlay.warn_frac = Some(float(value, key)?),
-                "fail_frac" => overlay.fail_frac = Some(float(value, key)?),
-                "check_receivers" => overlay.check_receivers = Some(boolean(value, key)?),
-                "stop_after" => overlay.stop_after = Some(uint(value, key)?),
-                "resume" => overlay.resume = boolean(value, key)?,
-                other => return Err(ApiError::BadRequest(format!("unknown run option {other:?}"))),
+            if !overlay.apply(key, value)? {
+                return Err(ApiError::BadRequest(format!("unknown run option {key:?}")));
             }
         }
         Ok(overlay)
+    }
+
+    /// The engine configuration this overlay resolves to. The same
+    /// resolution feeds the executor's run and the ECO planner's
+    /// fingerprint check, so the plan's dirty set is computed under
+    /// exactly the configuration the run will use.
+    fn engine_config(&self, cache_path: PathBuf, sink: Option<Arc<dyn EventSink>>) -> EngineConfig {
+        let mut cfg = EngineConfig {
+            workers: self.workers.unwrap_or(0),
+            cache_path: Some(cache_path),
+            sink,
+            ..EngineConfig::default()
+        };
+        if let Some(w) = self.warn_frac {
+            cfg.warn_frac = w;
+        }
+        if let Some(f) = self.fail_frac {
+            cfg.fail_frac = f;
+        }
+        if let Some(c) = self.check_receivers {
+            cfg.check_receivers = c;
+        }
+        cfg
     }
 }
 
@@ -143,6 +179,17 @@ fn boolean(v: &Value, key: &str) -> Result<bool, ApiError> {
     }
 }
 
+/// An ECO re-verification queued behind a run: the exact chip pair the
+/// delta was planned over, pinned so a later patch on the same session
+/// cannot shift what this run verifies.
+struct EcoJob {
+    old: Arc<ResidentChip>,
+    new: Arc<ResidentChip>,
+    /// [`EcoPlan::to_json`] of the plan answered at submit time; recorded
+    /// in the run ledger when the run completes.
+    plan: String,
+}
+
 /// One submitted run: identity, live state, and the two concurrent-read
 /// surfaces (event archive, verdict snapshot).
 struct RunHandle {
@@ -153,6 +200,8 @@ struct RunHandle {
     snapshot: Arc<VerdictSnapshot>,
     total: usize,
     overlay: RunOverlay,
+    /// `Some` when this run is an ECO splice rather than a plain sweep.
+    eco: Option<EcoJob>,
     signoff: Mutex<Option<String>>,
 }
 
@@ -346,6 +395,7 @@ fn route(request: &Request, names: &[&str], shared: &Arc<Shared>) -> Result<Stri
         ("POST", ["sessions"]) => create_session(shared, &request.body),
         ("GET", ["sessions", sid]) => Ok(lookup_session(shared, sid)?.info_json()),
         ("POST", ["sessions", sid, "runs"]) => submit_run(shared, sid, &request.body),
+        ("POST", ["sessions", sid, "eco"]) => submit_eco(shared, sid, &request.body),
         ("GET", ["runs", rid, "verdicts"]) => verdicts(shared, rid, request.query_get("net")),
         ("GET", ["runs", rid, "signoff"]) => signoff(shared, rid),
         _ => Err(ApiError::NotFound(format!("no route for {} {}", request.method, request.path))),
@@ -392,15 +442,94 @@ fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, Api
     if shared.shutting_down.load(Ordering::Acquire) {
         return Err(ApiError::Busy("daemon is draining".into()));
     }
+    let total = session.chip().victims().len();
+    let run = enqueue(shared, &session.id, total, overlay, None)?;
+    Ok(format!(
+        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{}}}",
+        str_lit(&run.id),
+        str_lit(sid),
+        run.total
+    ))
+}
+
+/// `POST /sessions/{sid}/eco` — patch the resident parasitics with an
+/// edited SPEF document and queue the incremental re-verification.
+///
+/// The body carries `"text"` (the full edited SPEF) plus any run-overlay
+/// option. The handler elaborates the new chip with the session's
+/// original driver context, diffs it against the resident one, plans the
+/// dirty set (the fingerprint confirmation costs a handful of prunes, not
+/// a chip sweep), swaps the session's chip, and queues a run pinned to
+/// the exact old/new pair. The answered JSON carries the plan; the run's
+/// sign-off artifact is the spliced document, byte-identical to a
+/// from-scratch sweep of the edited chip.
+fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, ApiError> {
+    let doc = parse(body).map_err(|e| ApiError::BadRequest(format!("eco body: {e}")))?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| ApiError::BadRequest("eco body must be a JSON object".into()))?;
+    let mut overlay = RunOverlay::default();
+    let mut text: Option<String> = None;
+    for (key, value) in obj {
+        if key == "text" {
+            text = Some(
+                value
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("text must be a string".into()))?
+                    .to_owned(),
+            );
+        } else if !overlay.apply(key, value)? {
+            return Err(ApiError::BadRequest(format!("unknown eco option {key:?}")));
+        }
+    }
+    let text = text.ok_or_else(|| {
+        ApiError::BadRequest("eco needs \"text\": the full edited SPEF document".into())
+    })?;
+    let session = lookup_session(shared, sid)?;
+    if shared.shutting_down.load(Ordering::Acquire) {
+        return Err(ApiError::Busy("daemon is draining".into()));
+    }
+    // Elaboration and planning run on this connection's thread, exactly
+    // like session creation — the executor keeps draining other runs.
+    let new = Arc::new(session.elaborate_eco(&text)?);
+    let old = session.chip();
+    let delta = EcoDelta::diff(old.db(), new.db());
+    let cfg = overlay.engine_config(session.cache_path.clone(), None);
+    let plan = EcoPlan::compute(&cfg, &old, &new, &delta);
+    let plan_json = plan.to_json();
+    let total = new.victims().len();
+    let eco = EcoJob { old, new: Arc::clone(&new), plan: plan_json.clone() };
+    let run = enqueue(shared, &session.id, total, overlay, Some(eco))?;
+    // The swap happens only after the run is safely queued: a 429 above
+    // leaves the resident chip untouched.
+    session.swap_chip(new);
+    Ok(format!(
+        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{},\"eco\":{}}}",
+        str_lit(&run.id),
+        str_lit(sid),
+        run.total,
+        plan_json
+    ))
+}
+
+/// Register a run handle and push it onto the bounded queue.
+fn enqueue(
+    shared: &Arc<Shared>,
+    sid: &str,
+    total: usize,
+    overlay: RunOverlay,
+    eco: Option<EcoJob>,
+) -> Result<Arc<RunHandle>, ApiError> {
     let id = format!("r{}", shared.next_run.fetch_add(1, Ordering::Relaxed) + 1);
     let run = Arc::new(RunHandle {
         id: id.clone(),
-        session: session.id.clone(),
+        session: sid.to_owned(),
         state: Mutex::new(RunState::Queued),
         hub: Arc::new(EventHub::new(shared.cfg.hub_capacity)),
         snapshot: Arc::new(VerdictSnapshot::new()),
-        total: session.chip.victims().len(),
+        total,
         overlay,
+        eco,
         signoff: Mutex::new(None),
     });
     {
@@ -420,15 +549,10 @@ fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, Api
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(id.clone(), Arc::clone(&run));
-        queue.push_back(id.clone());
+        queue.push_back(id);
     }
     shared.queue_cv.notify_one();
-    Ok(format!(
-        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{}}}",
-        str_lit(&id),
-        str_lit(sid),
-        run.total
-    ))
+    Ok(run)
 }
 
 /// Render one verdict in the exact shape `ChipReport::to_json` uses
@@ -469,7 +593,7 @@ fn verdicts(shared: &Shared, rid: &str, net: Option<&str>) -> Result<String, Api
     let listed: Vec<NetVerdict> = match net {
         Some(name) => {
             let session = lookup_session(shared, &run.session)?;
-            if !session.chip.is_victim(name) {
+            if !session.chip().is_victim(name) {
                 // The typed engine-side error, mapped through From so the
                 // wire sees 400 with the offending name.
                 return Err(ApiError::from(XtalkError::BadRequest {
@@ -649,28 +773,18 @@ fn execute_run(shared: &Shared, run_id: &str) {
         ])),
         None => hub_sink,
     };
-    let mut cfg = EngineConfig {
-        workers: run.overlay.workers.unwrap_or(0),
-        cache_path: Some(session.cache_path.clone()),
-        sink: Some(sink),
-        ..EngineConfig::default()
-    };
-    if let Some(w) = run.overlay.warn_frac {
-        cfg.warn_frac = w;
-    }
-    if let Some(f) = run.overlay.fail_frac {
-        cfg.fail_frac = f;
-    }
-    if let Some(c) = run.overlay.check_receivers {
-        cfg.check_receivers = c;
-    }
+    let mut cfg = run.overlay.engine_config(session.cache_path.clone(), Some(sink));
     cfg.durable.stop = Some(stop.clone());
 
     let engine = Engine::new(cfg);
-    let outcome = if run.overlay.resume {
-        engine.resume_resident(&session.chip, Some(&run.snapshot))
-    } else {
-        engine.verify_resident(&session.chip, Some(&run.snapshot))
+    let outcome = match &run.eco {
+        // An ECO run verifies exactly the chip pair the plan was answered
+        // for; clean clusters splice from the session's warm cache.
+        Some(eco) => engine
+            .eco_verify_resident(&eco.old, &eco.new, run.overlay.resume, Some(&run.snapshot))
+            .map(|o| o.report),
+        None if run.overlay.resume => engine.resume_resident(&session.chip(), Some(&run.snapshot)),
+        None => engine.verify_resident(&session.chip(), Some(&run.snapshot)),
     };
     {
         let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
@@ -704,7 +818,8 @@ fn execute_run(shared: &Shared, run_id: &str) {
 
 /// Append one line to the daemon's durable run ledger
 /// (`<data_dir>/runs.jsonl`): run id → outcome (+ artifact path when one
-/// was published). Best-effort, fsync'd.
+/// was published, + the ECO plan when the run was a splice). Best-effort,
+/// fsync'd.
 fn ledger_append(shared: &Shared, run: &RunHandle, outcome: &str, artifact: Option<PathBuf>) {
     let ledger = shared.cfg.data_dir.join("runs.jsonl");
     let mut line = format!(
@@ -716,6 +831,9 @@ fn ledger_append(shared: &Shared, run: &RunHandle, outcome: &str, artifact: Opti
     );
     if let Some(path) = artifact {
         line.push_str(&format!(",\"artifact\":{}", str_lit(&path.display().to_string())));
+    }
+    if let Some(eco) = &run.eco {
+        line.push_str(&format!(",\"eco\":{}", eco.plan));
     }
     line.push_str("}\n");
     let _ = Fs::real().append_durable(&ledger, line.as_bytes());

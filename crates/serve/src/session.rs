@@ -25,7 +25,7 @@ use pcv_netlist::PNetId;
 use pcv_obs::json::{parse, Value};
 use pcv_xtalk::drivers::DriverModelKind;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Which nets of a SPEF upload to audit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -260,15 +260,31 @@ impl SessionState {
     }
 }
 
+/// The re-elaboration context an ECO patch needs: how the session's
+/// original SPEF upload was turned into a chip, minus the text itself.
+#[derive(Debug, Clone)]
+struct EcoContext {
+    drive_ohms: f64,
+    victims: VictimSel,
+}
+
 /// One resident chip plus its lifecycle state and cache location.
+///
+/// The chip slot is swappable: an ECO patch replaces it with a freshly
+/// elaborated chip while the session identity, cache and state survive —
+/// that continuity is exactly what makes the next run a warm splice
+/// instead of a cold sweep.
 #[derive(Debug)]
 pub struct Session {
     /// Session id (`s1`, `s2`, ...).
     pub id: String,
     /// The elaborated chip, shared with the executor and query handlers.
-    pub chip: Arc<ResidentChip>,
+    chip: RwLock<Arc<ResidentChip>>,
     /// The engine cache/journal/ledger stem for this session's runs.
     pub cache_path: PathBuf,
+    /// How to re-elaborate an edited SPEF upload (`None` for generated
+    /// designs, which have no parasitics document to patch).
+    eco_ctx: Option<EcoContext>,
     state: Mutex<SessionState>,
 }
 
@@ -284,15 +300,60 @@ impl Session {
         spec: &DesignSpec,
         data_dir: &std::path::Path,
     ) -> Result<Session, ApiError> {
+        let eco_ctx = match spec {
+            DesignSpec::Spef { drive_ohms, victims, .. } => {
+                Some(EcoContext { drive_ohms: *drive_ohms, victims: victims.clone() })
+            }
+            DesignSpec::Dsp { .. } => None,
+        };
         let session = Session {
             cache_path: data_dir.join(format!("session-{id}.cache")),
             id,
-            chip: Arc::new(elaborate(spec)?),
+            chip: RwLock::new(Arc::new(elaborate(spec)?)),
+            eco_ctx,
             state: Mutex::new(SessionState::Parsed),
         };
         session.set_state(SessionState::Elaborated);
         session.set_state(SessionState::Ready);
         Ok(session)
+    }
+
+    /// The currently resident chip (an `Arc` clone; cheap).
+    pub fn chip(&self) -> Arc<ResidentChip> {
+        Arc::clone(&self.chip.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Elaborate an edited SPEF document with this session's original
+    /// driver resistance and victim selection — the chip an ECO patch
+    /// swaps in.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Conflict`] for sessions that hold a generated design
+    /// (there is no SPEF to patch); [`elaborate`] failures otherwise —
+    /// including a [`ApiError::BadRequest`] when the edit removed a net
+    /// the session's named victim list still references.
+    pub fn elaborate_eco(&self, text: &str) -> Result<ResidentChip, ApiError> {
+        let ctx = self.eco_ctx.as_ref().ok_or_else(|| {
+            ApiError::Conflict(format!(
+                "session {} holds a generated design — only spef sessions accept eco patches",
+                self.id
+            ))
+        })?;
+        elaborate(&DesignSpec::Spef {
+            text: text.to_owned(),
+            drive_ohms: ctx.drive_ohms,
+            victims: ctx.victims.clone(),
+        })
+    }
+
+    /// Swap the resident chip, returning the one it replaces (the ECO
+    /// diff's "old" side).
+    pub fn swap_chip(&self, next: Arc<ResidentChip>) -> Arc<ResidentChip> {
+        std::mem::replace(
+            &mut self.chip.write().unwrap_or_else(std::sync::PoisonError::into_inner),
+            next,
+        )
     }
 
     /// Current lifecycle state.
@@ -309,12 +370,13 @@ impl Session {
     /// The `{"session":...}` info object served for this session.
     pub fn info_json(&self) -> String {
         use pcv_trace::json::str_lit;
+        let chip = self.chip();
         format!(
             "{{\"session\":{},\"state\":{},\"nets\":{},\"victims\":{}}}",
             str_lit(&self.id),
             str_lit(self.state().name()),
-            self.chip.num_nets(),
-            self.chip.victims().len()
+            chip.num_nets(),
+            chip.victims().len()
         )
     }
 }
@@ -387,10 +449,55 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let s = Session::build("s1".into(), &spec, &dir).unwrap();
         assert_eq!(s.state(), SessionState::Ready);
-        assert_eq!(s.chip.victims().len(), 1);
-        assert_eq!(s.chip.num_nets(), 2);
+        assert_eq!(s.chip().victims().len(), 1);
+        assert_eq!(s.chip().num_nets(), 2);
         assert!(s.info_json().contains("\"state\":\"ready\""));
         assert!(s.cache_path.starts_with(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eco_reelaborates_with_the_original_driver_context_and_swaps() {
+        let spec = DesignSpec::Spef {
+            text: write_spef(&small_db()),
+            drive_ohms: 1200.0,
+            victims: VictimSel::All,
+        };
+        let dir = std::env::temp_dir().join(format!("pcv-serve-eco-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = Session::build("s1".into(), &spec, &dir).unwrap();
+
+        // Patch: one more net, coupled to nothing.
+        let mut db = small_db();
+        let mut extra = NetParasitics::new("spare");
+        let e1 = extra.add_node();
+        extra.add_resistor(0, e1, 80.0);
+        extra.add_ground_cap(e1, 3e-15);
+        extra.mark_load(e1);
+        db.add_net(extra);
+        let patched = s.elaborate_eco(&write_spef(&db)).unwrap();
+        assert_eq!(patched.num_nets(), 3);
+        assert_eq!(patched.victims().len(), 3, "VictimSel::All re-applies to the new netlist");
+
+        let old = s.swap_chip(Arc::new(patched));
+        assert_eq!(old.num_nets(), 2);
+        assert_eq!(s.chip().num_nets(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eco_on_a_generated_design_is_a_conflict() {
+        let spec = DesignSpec::from_json(
+            "{\"design\":{\"kind\":\"dsp\",\"buses\":1,\"bits\":2,\"random\":0}}",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("pcv-serve-eco-dsp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = Session::build("s9".into(), &spec, &dir).unwrap();
+        match s.elaborate_eco("*SPEF pcv-lite 1.0\n") {
+            Err(ApiError::Conflict(m)) => assert!(m.contains("generated design"), "{m}"),
+            other => panic!("expected Conflict, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

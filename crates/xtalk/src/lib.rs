@@ -58,6 +58,7 @@
 pub mod analysis;
 pub mod build;
 pub mod chip;
+pub mod dirty;
 pub mod drivers;
 pub mod em;
 pub mod error;
@@ -71,6 +72,7 @@ pub use analysis::{
 };
 pub use build::{build_cluster, ClusterModel};
 pub use chip::{audit_receivers, verify_chip, ChipReport, NetVerdict, ReceiverVerdict, Severity};
+pub use dirty::blast_radius;
 pub use drivers::DriverModelKind;
 pub use em::{screen_cluster, EmScreenResult, SegmentCurrent};
 pub use error::XtalkError;

@@ -7,6 +7,8 @@
 //!   load-dsp [--buses N] [--bits N] [--random N]   create a DSP-fixture session
 //!   load-spef FILE [--drive OHMS]                  create a session from a SPEF file
 //!   run SESSION [--workers N] [--resume] [--stop-after N]
+//!   eco SESSION FILE [--workers N] [--resume]      patch the resident parasitics with an
+//!                                                  edited SPEF and splice-verify the delta
 //!   events RUN                                     tail the live JSONL event stream
 //!   verdicts RUN [--net NAME]                      fetch (partial) verdicts
 //!   signoff RUN [--out FILE]                       fetch the sign-off document
@@ -67,7 +69,7 @@ fn main() {
     let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let client = Client::new(addr);
     if args.is_empty() {
-        fail("no command; try: load-dsp | load-spef | run | events | verdicts | signoff | smoke | shutdown");
+        fail("no command; try: load-dsp | load-spef | run | eco | events | verdicts | signoff | smoke | shutdown");
     }
     let command = args.remove(0);
     match command.as_str() {
@@ -120,6 +122,28 @@ fn main() {
             let resp =
                 client.request("POST", &path, &body).unwrap_or_else(|e| fail(&e.to_string()));
             expect_ok("run", &resp);
+            println!("{}", resp.body);
+        }
+        "eco" => {
+            if args.len() < 2 {
+                fail("eco needs a session id and an edited SPEF file path");
+            }
+            let session = args.remove(0);
+            let path = args.remove(0);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let mut fields = vec![format!("\"text\":{}", pcv_trace::json::str_lit(&text))];
+            if let Some(w) = take_flag(&mut args, "--workers") {
+                fields.push(format!("\"workers\":{w}"));
+            }
+            if take_switch(&mut args, "--resume") {
+                fields.push("\"resume\":true".into());
+            }
+            let body = format!("{{{}}}", fields.join(","));
+            let resp = client
+                .request("POST", &format!("/sessions/{session}/eco"), &body)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            expect_ok("eco", &resp);
             println!("{}", resp.body);
         }
         "events" => {
