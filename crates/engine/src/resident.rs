@@ -131,6 +131,12 @@ impl ResidentChip {
 #[derive(Debug, Default)]
 pub struct VerdictSnapshot {
     done: Mutex<HashMap<String, NetVerdict>>,
+    /// Monotonic publication counter — a lock-free heartbeat for stall
+    /// watchdogs, bumped on every [`VerdictSnapshot::insert`]. Unlike
+    /// [`VerdictSnapshot::len`] it never takes the verdict lock, so a
+    /// watchdog polling it cannot contend with the engine's inserts or a
+    /// client's verdict reads.
+    beats: std::sync::atomic::AtomicU64,
 }
 
 impl VerdictSnapshot {
@@ -143,6 +149,15 @@ impl VerdictSnapshot {
     pub fn insert(&self, verdict: NetVerdict) {
         let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         done.insert(verdict.name.clone(), verdict);
+        drop(done);
+        self.beats.fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Verdict publications so far (monotonic, lock-free). Counts every
+    /// insert — including a re-publication of an already-present net — so
+    /// it is a progress *heartbeat*, not a distinct-verdict count.
+    pub fn beats(&self) -> u64 {
+        self.beats.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// The verdict for one net, if its cluster has completed.

@@ -103,6 +103,16 @@ pub enum EngineEvent {
         /// Dense worker index.
         worker: usize,
     },
+    /// A stall watchdog observed no cluster completions for its configured
+    /// no-progress interval. Purely advisory — the watchdog never stops
+    /// the run — and inherently timing-dependent, so the kind is excluded
+    /// from every deterministic event-count contract.
+    StallWarning {
+        /// Clusters that had completed when the warning fired.
+        completed: usize,
+        /// The configured no-progress interval, in milliseconds.
+        stalled_ms: u64,
+    },
     /// Verification finished.
     RunFinished {
         /// Victims audited.
@@ -133,6 +143,7 @@ impl EngineEvent {
             EngineEvent::RunResumed { .. } => "run_resumed",
             EngineEvent::RunStopped { .. } => "run_stopped",
             EngineEvent::WorkerIdle { .. } => "worker_idle",
+            EngineEvent::StallWarning { .. } => "stall_warning",
             EngineEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -168,6 +179,9 @@ impl EngineEvent {
                 format!("\"completed\":{completed},\"skipped\":{skipped}")
             }
             EngineEvent::WorkerIdle { worker } => format!("\"worker\":{worker}"),
+            EngineEvent::StallWarning { completed, stalled_ms } => {
+                format!("\"completed\":{completed},\"stalled_ms\":{stalled_ms}")
+            }
             EngineEvent::RunFinished { victims, wall, cache_hits, degraded } => format!(
                 "\"victims\":{victims},\"wall_ms\":{},\"cache_hits\":{cache_hits},\
                  \"degraded\":{degraded}",
@@ -188,6 +202,7 @@ impl EngineEvent {
                 | EngineEvent::RunResumed { .. }
                 | EngineEvent::RunStopped { .. }
                 | EngineEvent::ClusterSkipped { .. }
+                | EngineEvent::StallWarning { .. }
         )
     }
 }
@@ -249,6 +264,7 @@ impl CountingSink {
                     | "run_resumed"
                     | "run_stopped"
                     | "cluster_skipped"
+                    | "stall_warning"
             )
         });
         counts
@@ -324,14 +340,23 @@ mod tests {
         let stopped = EngineEvent::RunStopped { completed: 2, skipped: 1 };
         assert_eq!(stopped.kind(), "run_stopped");
         assert!(!stopped.is_cluster_scoped());
+        let stall = EngineEvent::StallWarning { completed: 5, stalled_ms: 250 };
+        assert_eq!(stall.kind(), "stall_warning");
+        assert!(!stall.is_cluster_scoped(), "watchdog warnings are timing-dependent");
+        assert_eq!(
+            stall.to_json(),
+            "{\"kind\":\"stall_warning\",\"completed\":5,\"stalled_ms\":250}"
+        );
         let sink = CountingSink::new();
         sink.event(&replayed);
         sink.event(&skipped);
         sink.event(&stopped);
+        sink.event(&stall);
         let cluster = sink.cluster_counts();
         assert!(cluster.contains_key("cluster_replayed"));
         assert!(!cluster.contains_key("cluster_skipped"));
         assert!(!cluster.contains_key("run_stopped"));
+        assert!(!cluster.contains_key("stall_warning"));
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! - **Ledger** ([`ledger`]) — one append-only JSONL record per engine run
 //!   (fingerprints, stage wall times, counters, peak memory), written next
 //!   to the result cache, parseable back with the in-tree [`json`] reader.
+//! - **Metrics** ([`Registry`]) — a process-lifetime store of counters,
+//!   gauges, and fixed-bucket histograms rendered as deterministic
+//!   Prometheus text exposition, with [`pcv_trace`] traces folded in.
+//! - **Flight recorder** ([`FlightRecorder`]) — an always-on bounded ring
+//!   of the most recent engine/HTTP observations, dumpable as JSON on
+//!   panic, signal, or watchdog trip.
 //!
 //! Nothing in this crate feeds back into verification results: reports,
 //! caches, and sign-off documents are byte-identical with observability on
@@ -41,13 +47,17 @@ pub mod alloc;
 pub mod channel;
 pub mod event;
 pub mod fanout;
+pub mod flight;
 pub mod json;
 pub mod ledger;
+pub mod metrics;
 pub mod progress;
 
 pub use alloc::{mem, MemSnapshot, TrackingAlloc};
 pub use channel::{ChannelSink, EventChannel, EventReceiver};
 pub use event::{CountingSink, EngineEvent, EventSink, NullSink, TeeSink};
 pub use fanout::{CursorState, EventHub, HubCursor};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use ledger::RunRecord;
+pub use metrics::Registry;
 pub use progress::{ProgressMonitor, ProgressSnapshot, StderrStatusLine};

@@ -1,0 +1,484 @@
+//! A zero-dependency metrics registry with Prometheus text exposition.
+//!
+//! The daemon-facing counterpart of [`pcv_trace`]'s in-process telemetry:
+//! where a trace describes *one run* in depth, this registry accumulates
+//! *process lifetime* series — counters, gauges and fixed-bucket
+//! histograms, each keyed by name plus a sorted label set — and renders
+//! them in the Prometheus text exposition format (`# HELP` / `# TYPE`
+//! comments followed by `name{labels} value` samples).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Inert.** Recording never influences verification; the registry is
+//!    only ever written from observability call sites and read by
+//!    scrapers. Mismatched re-registrations (same name, different type)
+//!    are dropped rather than panicking — a metrics bug must not take a
+//!    daemon down.
+//! 2. **Deterministic exposition.** Families render in name order, series
+//!    in label-signature order, floats through Rust's shortest-roundtrip
+//!    `Display` — so two registries holding the same samples render
+//!    byte-identical text, and a golden test can pin the format.
+//! 3. **Cheap.** One mutex around a pair of `BTreeMap`s; every record is
+//!    a lock + map probe. Fine for the daemon's request/run cadence
+//!    (metrics are recorded per HTTP request and per engine run, not per
+//!    cluster event).
+//!
+//! [`pcv_trace::Trace`] output folds in through
+//! [`Registry::absorb_trace`], which maps trace counters to a labeled
+//! counter family and trace histograms (power-of-two buckets) to native
+//! Prometheus histograms using [`Histogram::bucket_ceiling`] for the
+//! `le` bounds.
+
+use pcv_trace::Histogram;
+use pcv_trace::Trace;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Latency buckets (seconds) for HTTP-style request histograms: 1 ms to
+/// 10 s with roughly 4–5x steps, matching the daemon's spread between a
+/// `/healthz` probe and a long verification-adjacent query.
+pub const LATENCY_BOUNDS_S: [f64; 7] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0];
+
+/// What a metric family holds.
+#[derive(Debug, Clone, PartialEq)]
+enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl FamilyKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series' value.
+#[derive(Debug, Clone)]
+enum SeriesValue {
+    Counter(u64),
+    Gauge(f64),
+    /// Fixed explicit bounds (non-cumulative per-bucket counts; the
+    /// renderer accumulates). `counts.len() == bounds.len() + 1`, the
+    /// last slot being the overflow (`+Inf`) bucket.
+    Buckets {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+    /// A merged power-of-two histogram (bit-length buckets), rendered
+    /// with [`Histogram::bucket_ceiling`] bounds trimmed to the occupied
+    /// range. Boxed: the 65-bucket array dwarfs the other variants.
+    Log2(Box<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: FamilyKind,
+    help: &'static str,
+    /// Label signature (`key="value",...`, keys sorted) → value.
+    series: BTreeMap<String, SeriesValue>,
+}
+
+/// The process-wide metric store. Create one per daemon ([`Registry::new`])
+/// and share it behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The canonical label signature: keys sorted, values escaped. Empty for
+/// an unlabeled series.
+fn signature(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    out
+}
+
+/// Render a float the exposition way: shortest round-trip decimal, with
+/// integral values rendered without a fraction (`1`, not `1.0`).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_series<R>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: FamilyKind,
+        labels: &[(&str, &str)],
+        init: impl FnOnce() -> SeriesValue,
+        update: impl FnOnce(&mut SeriesValue) -> R,
+    ) -> Option<R> {
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind: kind.clone(),
+            help,
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            // A name re-registered at a different type is a bug in the
+            // caller; drop the sample rather than poisoning the scrape.
+            return None;
+        }
+        let value = family.series.entry(signature(labels)).or_insert_with(init);
+        Some(update(value))
+    }
+
+    /// Add `delta` to a counter series, creating it at zero first.
+    pub fn counter_add(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        delta: u64,
+    ) {
+        self.with_series(
+            name,
+            help,
+            FamilyKind::Counter,
+            labels,
+            || SeriesValue::Counter(0),
+            |v| {
+                if let SeriesValue::Counter(c) = v {
+                    *c += delta;
+                }
+            },
+        );
+    }
+
+    /// Set a gauge series to `value`, creating it if needed.
+    pub fn gauge_set(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        self.with_series(
+            name,
+            help,
+            FamilyKind::Gauge,
+            labels,
+            || SeriesValue::Gauge(value),
+            |v| {
+                if let SeriesValue::Gauge(g) = v {
+                    *g = value;
+                }
+            },
+        );
+    }
+
+    /// Record one observation into a fixed-bucket histogram series. The
+    /// first observation fixes the `bounds` (ascending upper edges, in the
+    /// sample's unit); later calls reuse them regardless of what they pass.
+    pub fn observe(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        self.with_series(
+            name,
+            help,
+            FamilyKind::Histogram,
+            labels,
+            || SeriesValue::Buckets {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                sum: 0.0,
+                count: 0,
+            },
+            |v| {
+                if let SeriesValue::Buckets { bounds, counts, sum, count } = v {
+                    let slot = bounds.iter().position(|&b| value <= b).unwrap_or(bounds.len());
+                    counts[slot] += 1;
+                    *sum += value;
+                    *count += 1;
+                }
+            },
+        );
+    }
+
+    /// Current value of a counter series (0 when absent) — for tests and
+    /// server-side thresholds, not for exposition.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        match families.get(name).and_then(|f| f.series.get(&signature(labels))) {
+            Some(SeriesValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Fold a merged trace into the registry:
+    ///
+    /// - every trace counter adds to `pcv_trace_counter_total` with the
+    ///   counter's dotted name as the `counter` label;
+    /// - every trace histogram merges into `pcv_trace_samples` (a native
+    ///   Prometheus histogram over the trace's power-of-two buckets) with
+    ///   the histogram's name as the `hist` label.
+    ///
+    /// Absorbing two traces accumulates, matching counter semantics.
+    pub fn absorb_trace(&self, trace: &Trace) {
+        for (name, value) in &trace.counters {
+            self.counter_add(
+                "pcv_trace_counter_total",
+                "Trace counters accumulated across traced engine runs.",
+                &[("counter", name)],
+                *value,
+            );
+        }
+        for (name, hist) in &trace.histograms {
+            self.with_series(
+                "pcv_trace_samples",
+                "Trace histogram samples accumulated across traced engine runs.",
+                FamilyKind::Histogram,
+                &[("hist", name)],
+                || SeriesValue::Log2(Box::default()),
+                |v| {
+                    if let SeriesValue::Log2(h) = v {
+                        h.merge(hist);
+                    }
+                },
+            );
+        }
+    }
+
+    /// Render the whole registry as Prometheus text exposition (version
+    /// 0.0.4): families in name order, each with `# HELP` and `# TYPE`
+    /// comments, series in label order, histograms expanded to cumulative
+    /// `_bucket{le=...}` samples plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.name()));
+            for (sig, value) in &family.series {
+                match value {
+                    SeriesValue::Counter(c) => {
+                        out.push_str(&render_sample(name, sig, &c.to_string()));
+                    }
+                    SeriesValue::Gauge(g) => {
+                        out.push_str(&render_sample(name, sig, &fmt_value(*g)));
+                    }
+                    SeriesValue::Buckets { bounds, counts, sum, count } => {
+                        let mut cum = 0u64;
+                        for (i, b) in bounds.iter().enumerate() {
+                            cum += counts[i];
+                            let sig_le = with_le(sig, &fmt_value(*b));
+                            out.push_str(&render_sample(
+                                &format!("{name}_bucket"),
+                                &sig_le,
+                                &cum.to_string(),
+                            ));
+                        }
+                        out.push_str(&render_sample(
+                            &format!("{name}_bucket"),
+                            &with_le(sig, "+Inf"),
+                            &count.to_string(),
+                        ));
+                        out.push_str(&render_sample(&format!("{name}_sum"), sig, &fmt_value(*sum)));
+                        out.push_str(&render_sample(
+                            &format!("{name}_count"),
+                            sig,
+                            &count.to_string(),
+                        ));
+                    }
+                    SeriesValue::Log2(h) => {
+                        // Trim to the occupied range: a u64 histogram has
+                        // 65 buckets, almost all of them empty.
+                        let top = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+                        let mut cum = 0u64;
+                        for i in 0..=top {
+                            cum += h.buckets[i];
+                            let sig_le = with_le(sig, &Histogram::bucket_ceiling(i).to_string());
+                            out.push_str(&render_sample(
+                                &format!("{name}_bucket"),
+                                &sig_le,
+                                &cum.to_string(),
+                            ));
+                        }
+                        out.push_str(&render_sample(
+                            &format!("{name}_bucket"),
+                            &with_le(sig, "+Inf"),
+                            &h.count.to_string(),
+                        ));
+                        out.push_str(&render_sample(
+                            &format!("{name}_sum"),
+                            sig,
+                            &h.sum.to_string(),
+                        ));
+                        out.push_str(&render_sample(
+                            &format!("{name}_count"),
+                            sig,
+                            &h.count.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exposition sample line.
+fn render_sample(name: &str, sig: &str, value: &str) -> String {
+    if sig.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{sig}}} {value}\n")
+    }
+}
+
+/// Append the `le` label to a signature (histograms render it last, after
+/// the series' own sorted labels — the conventional Prometheus layout).
+fn with_le(sig: &str, le: &str) -> String {
+    if sig.is_empty() {
+        format!("le=\"{le}\"")
+    } else {
+        format!("{sig},le=\"{le}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.counter_add("pcv_requests_total", "Requests.", &[("route", "/healthz")], 1);
+        r.counter_add("pcv_requests_total", "Requests.", &[("route", "/healthz")], 2);
+        r.counter_add("pcv_requests_total", "Requests.", &[("route", "/metrics")], 5);
+        assert_eq!(r.counter_value("pcv_requests_total", &[("route", "/healthz")]), 3);
+        assert_eq!(r.counter_value("pcv_requests_total", &[("route", "/metrics")]), 5);
+        assert_eq!(r.counter_value("pcv_requests_total", &[("route", "/nope")]), 0);
+        r.gauge_set("pcv_queue_depth", "Queue depth.", &[], 4.0);
+        r.gauge_set("pcv_queue_depth", "Queue depth.", &[], 2.0);
+        assert!(r.render().contains("pcv_queue_depth 2\n"));
+    }
+
+    #[test]
+    fn label_order_is_canonical_and_values_escape() {
+        let r = Registry::new();
+        // Same series regardless of label order in the call.
+        r.counter_add("pcv_x_total", "X.", &[("b", "2"), ("a", "1")], 1);
+        r.counter_add("pcv_x_total", "X.", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.counter_value("pcv_x_total", &[("b", "2"), ("a", "1")]), 2);
+        r.counter_add("pcv_x_total", "X.", &[("a", "q\"\\\n")], 7);
+        let text = r.render();
+        assert!(text.contains("pcv_x_total{a=\"1\",b=\"2\"} 2\n"), "{text}");
+        assert!(text.contains("pcv_x_total{a=\"q\\\"\\\\\\n\"} 7\n"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_typed() {
+        let build = || {
+            let r = Registry::new();
+            r.gauge_set("pcv_up", "Whether the daemon is up.", &[], 1.0);
+            r.counter_add("pcv_hits_total", "Cache hits.", &[("tier", "l1")], 10);
+            r.counter_add("pcv_hits_total", "Cache hits.", &[("tier", "l2")], 3);
+            r.observe("pcv_lat_seconds", "Latency.", &[], &[0.01, 0.1], 0.05);
+            r.observe("pcv_lat_seconds", "Latency.", &[], &[0.01, 0.1], 0.2);
+            r.observe("pcv_lat_seconds", "Latency.", &[], &[0.01, 0.1], 0.001);
+            r.render()
+        };
+        let text = build();
+        assert_eq!(text, build(), "same samples must render byte-identically");
+        let expected = "\
+# HELP pcv_hits_total Cache hits.
+# TYPE pcv_hits_total counter
+pcv_hits_total{tier=\"l1\"} 10
+pcv_hits_total{tier=\"l2\"} 3
+# HELP pcv_lat_seconds Latency.
+# TYPE pcv_lat_seconds histogram
+pcv_lat_seconds_bucket{le=\"0.01\"} 1
+pcv_lat_seconds_bucket{le=\"0.1\"} 2
+pcv_lat_seconds_bucket{le=\"+Inf\"} 3
+pcv_lat_seconds_sum 0.251
+pcv_lat_seconds_count 3
+# HELP pcv_up Whether the daemon is up.
+# TYPE pcv_up gauge
+pcv_up 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn type_conflicts_drop_the_sample_instead_of_panicking() {
+        let r = Registry::new();
+        r.counter_add("pcv_thing", "A counter.", &[], 1);
+        r.gauge_set("pcv_thing", "Now a gauge?", &[], 9.0);
+        assert_eq!(r.counter_value("pcv_thing", &[]), 1);
+        assert!(!r.render().contains('9'));
+    }
+
+    #[test]
+    fn absorb_trace_maps_counters_and_histograms() {
+        let mut trace = Trace::default();
+        trace.counters.insert("engine.cache.hits".into(), 12);
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 900] {
+            h.record(v);
+        }
+        trace.histograms.insert("prune.kept".into(), h);
+        let r = Registry::new();
+        r.absorb_trace(&trace);
+        r.absorb_trace(&trace); // counter semantics: absorbing accumulates
+        assert_eq!(
+            r.counter_value("pcv_trace_counter_total", &[("counter", "engine.cache.hits")]),
+            24
+        );
+        let text = r.render();
+        assert!(text.contains("# TYPE pcv_trace_samples histogram"), "{text}");
+        // 900 has bit length 10 → ceiling 1023; the +Inf bucket closes.
+        assert!(text.contains("pcv_trace_samples_bucket{hist=\"prune.kept\",le=\"1023\"} 8"));
+        assert!(text.contains("pcv_trace_samples_bucket{hist=\"prune.kept\",le=\"+Inf\"} 8"));
+        assert!(text.contains("pcv_trace_samples_sum{hist=\"prune.kept\"} 1812"));
+        assert!(text.contains("pcv_trace_samples_count{hist=\"prune.kept\"} 8"));
+    }
+}

@@ -2,12 +2,23 @@
 //!
 //! ```text
 //! pcv_serve [--addr 127.0.0.1:7171] [--data-dir DIR] [--queue N] [--port-file PATH]
+//!           [--stall-timeout-ms MS] [--no-observe]
 //! ```
 //!
 //! `--port-file` writes the bound address (one line, `host:port`) after a
 //! successful bind — CI boots the daemon on an ephemeral port (`:0`) and
 //! reads the real port back from this file.
+//!
+//! `--stall-timeout-ms` arms the stall watchdog (default 30000; 0
+//! disables); `--no-observe` turns the whole observatory off — metrics,
+//! access log, flight recording, watchdog — while leaving the `/metrics`
+//! and `/debug/flight` surfaces answering.
+//!
+//! Crash capture: SIGQUIT dumps the flight recorder to
+//! `<data_dir>/flight-sigquit.json` (and keeps serving); a panic on any
+//! thread dumps to `<data_dir>/flight-panic.json` before unwinding.
 
+use pcv_engine::fs::Fs;
 use pcv_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,14 +26,20 @@ use std::time::Duration;
 
 /// Set by the signal handler; the main loop polls it.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
+/// Set by SIGQUIT; the main loop dumps the flight recorder and clears it.
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_sig: i32) {
     TERMINATE.store(true, Ordering::Release);
 }
 
-/// Install `on_signal` for SIGTERM and SIGINT via the libc `signal(2)`
-/// entry point — the workspace is std-only, and this one symbol is in
-/// every libc std already links against.
+extern "C" fn on_dump_signal(_sig: i32) {
+    DUMP.store(true, Ordering::Release);
+}
+
+/// Install `on_signal` for SIGTERM/SIGINT and `on_dump_signal` for SIGQUIT
+/// via the libc `signal(2)` entry point — the workspace is std-only, and
+/// this one symbol is in every libc std already links against.
 fn install_signal_handlers() {
     #[cfg(unix)]
     {
@@ -30,23 +47,30 @@ fn install_signal_handlers() {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         const SIGINT: i32 = 2;
+        const SIGQUIT: i32 = 3;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
+            signal(SIGQUIT, on_dump_signal);
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pcv_serve [--addr HOST:PORT] [--data-dir DIR] [--queue N] [--port-file PATH]"
+        "usage: pcv_serve [--addr HOST:PORT] [--data-dir DIR] [--queue N] [--port-file PATH]\n\
+         \x20                [--stall-timeout-ms MS] [--no-observe]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut cfg = ServerConfig { addr: "127.0.0.1:7171".into(), ..ServerConfig::default() };
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7171".into(),
+        stall_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    };
     let mut port_file: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,6 +80,11 @@ fn main() {
             "--data-dir" => cfg.data_dir = PathBuf::from(value("--data-dir")),
             "--queue" => cfg.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage()),
             "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            "--stall-timeout-ms" => {
+                cfg.stall_timeout_ms =
+                    value("--stall-timeout-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--no-observe" => cfg.observe = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -70,6 +99,20 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // A panic on any thread dumps the flight recorder (atomically, so a
+    // half-written dump is never observed) before the default unwind
+    // message — the ring answers "what was it doing just before?".
+    {
+        let flight = server.flight();
+        let dump_path = server.data_dir().join("flight-panic.json");
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = Fs::real().write_atomic(&dump_path, flight.dump_json().as_bytes());
+            previous(info);
+        }));
+    }
+
     let addr = server.addr();
     eprintln!("pcv_serve: listening on {addr}");
     if let Some(path) = port_file {
@@ -83,6 +126,12 @@ fn main() {
     // then drain: the in-flight run checkpoints and its journal stays
     // resumable, queued runs are refused, the listener stops last.
     while !TERMINATE.load(Ordering::Acquire) && !server.is_shutting_down() {
+        if DUMP.swap(false, Ordering::AcqRel) {
+            match server.dump_flight("sigquit") {
+                Ok(path) => eprintln!("pcv_serve: flight dump at {}", path.display()),
+                Err(e) => eprintln!("pcv_serve: flight dump failed: {e}"),
+            }
+        }
         std::thread::sleep(Duration::from_millis(100));
     }
     eprintln!("pcv_serve: draining");

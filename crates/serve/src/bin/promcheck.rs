@@ -1,0 +1,71 @@
+//! `promcheck` — validate a Prometheus text exposition and/or the daemon's
+//! JSONL access log. CI scrapes `/metrics` mid-run and pipes the capture
+//! through this checker; exit status 1 with the first violation on stderr.
+//!
+//! ```text
+//! promcheck [--metrics FILE] [--access-log FILE]
+//! ```
+//!
+//! The checks are the same [`pcv_serve::check_exposition`] and
+//! [`pcv_serve::check_access_log`] the serve test-suite runs in-process,
+//! so CI and tests can never disagree about what "valid" means.
+
+use pcv_serve::{check_access_log, check_exposition};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: promcheck [--metrics FILE] [--access-log FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut metrics: Option<PathBuf> = None;
+    let mut access_log: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("promcheck: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics"))),
+            "--access-log" => access_log = Some(PathBuf::from(value("--access-log"))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if metrics.is_none() && access_log.is_none() {
+        usage();
+    }
+
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("promcheck: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    };
+    let mut failed = false;
+    if let Some(path) = &metrics {
+        match check_exposition(&read(path)) {
+            Ok(()) => println!("promcheck: {} is valid exposition", path.display()),
+            Err(e) => {
+                eprintln!("promcheck: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &access_log {
+        match check_access_log(&read(path)) {
+            Ok(()) => println!("promcheck: {} parses cleanly", path.display()),
+            Err(e) => {
+                eprintln!("promcheck: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

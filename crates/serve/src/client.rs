@@ -14,6 +14,9 @@ pub struct Response {
     pub status: u16,
     /// Response body (JSON on every API route).
     pub body: String,
+    /// Parsed `Retry-After` header in seconds, present on the daemon's
+    /// 429 busy responses.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -81,7 +84,38 @@ impl Client {
             reader.read_exact(&mut buf)?;
             String::from_utf8_lossy(&buf).into_owned()
         };
-        Ok(Response { status, body })
+        let retry_after = header(&headers, "retry-after").and_then(|v| v.parse().ok());
+        Ok(Response { status, body, retry_after })
+    }
+
+    /// Like [`Client::request`], but honor 429 busy responses with bounded
+    /// backoff: sleep for the server's `Retry-After` (capped at
+    /// `max_backoff`, default 1 s when the header is missing) and retry up
+    /// to `attempts` times total. Any non-429 response — success or a
+    /// different error — returns immediately; after the final attempt the
+    /// last 429 is returned as-is so the caller still sees the truth.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures on any attempt.
+    pub fn request_with_retry(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        attempts: u32,
+        max_backoff: Duration,
+    ) -> io::Result<Response> {
+        let mut last = self.request(method, path, body)?;
+        for _ in 1..attempts.max(1) {
+            if last.status != 429 {
+                return Ok(last);
+            }
+            let hinted = Duration::from_secs(last.retry_after.unwrap_or(1));
+            std::thread::sleep(hinted.min(max_backoff));
+            last = self.request(method, path, body)?;
+        }
+        Ok(last)
     }
 
     /// `GET path` expecting a chunked JSONL stream; `on_line` is called

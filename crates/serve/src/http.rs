@@ -163,6 +163,35 @@ pub fn respond(
     stream.flush()
 }
 
+/// Like [`respond`], with extra response headers (each a `(name, value)`
+/// pair) between the fixed headers and the body — the hook `Retry-After`
+/// on 429 responses rides through.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn respond_with(
+    stream: &mut dyn Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
 /// Shorthand for a JSON response.
 ///
 /// # Errors
@@ -266,6 +295,23 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 16\r\n"));
         assert!(text.ends_with("{\"error\":\"busy\"}"));
+    }
+
+    #[test]
+    fn extra_headers_land_between_fixed_headers_and_body() {
+        let mut out = Vec::new();
+        respond_with(
+            &mut out,
+            429,
+            "Too Many Requests",
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{\"error\":\"busy\"}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("\r\n\r\n{\"error\":\"busy\"}"), "{text}");
     }
 
     #[test]

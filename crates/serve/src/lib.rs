@@ -20,11 +20,26 @@
 //! | `GET /runs/{id}/events` | Chunked JSONL live event stream, ending in a `stream_trailer` with delivered/dropped counts |
 //! | `GET /runs/{id}/verdicts?net=` | Per-net verdicts, including mid-run partials from the run's [`pcv_engine::VerdictSnapshot`] |
 //! | `GET /runs/{id}/signoff` | The durable sign-off document — byte-identical to the offline batch flow |
+//! | `GET /metrics` | Prometheus text exposition: HTTP/run/engine series from the daemon's [`Observatory`] |
+//! | `GET /debug/flight` | The always-on flight recorder's ring of recent engine + HTTP observations |
+//! | `GET /healthz` | Liveness + readiness: version, uptime, elaborating count, torn-ledger lines |
 //! | `POST /shutdown` | Graceful drain: the in-flight run checkpoints via [`pcv_engine::StopFlag`] and stays resumable |
 //!
 //! Every failure is a typed [`ApiError`] with exactly one HTTP status;
 //! engine-side contention ([`pcv_xtalk::XtalkError::Busy`]) surfaces as
-//! 429, not a generic 500.
+//! 429, not a generic 500 — and every 429 carries a `Retry-After` header
+//! the bundled client honors with bounded backoff.
+//!
+//! ## Observability (inert by construction)
+//!
+//! Each HTTP request is minted a correlation ID threaded through the
+//! response body, the run it queues, the event-stream trailer, the daemon
+//! run ledger, and the JSONL access log — one grep ties a client call to
+//! everything it caused. A stall watchdog (opt-in via
+//! [`ServerConfig::stall_timeout_ms`]) warns — never kills — when an
+//! in-flight run stops publishing verdicts. None of it feeds back into
+//! verification: sign-off artifacts are byte-identical with the
+//! observatory enabled or disabled.
 //!
 //! ## Determinism contract
 //!
@@ -41,10 +56,12 @@
 pub mod client;
 pub mod error;
 pub mod http;
+pub mod observe;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, Response};
 pub use error::ApiError;
+pub use observe::{check_access_log, check_exposition, Observatory};
 pub use server::{Server, ServerConfig};
 pub use session::{DesignSpec, Session, SessionState, VictimSel};

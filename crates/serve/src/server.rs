@@ -21,23 +21,25 @@
 
 use crate::error::ApiError;
 use crate::http::{self, ChunkedWriter, Request};
+use crate::observe::Observatory;
 use crate::session::{DesignSpec, Session, SessionState};
 use pcv_engine::fs::Fs;
 use pcv_engine::{
-    EcoPlan, Engine, EngineConfig, ResidentChip, StopAfter, StopFlag, VerdictSnapshot,
+    EcoPlan, Engine, EngineConfig, FaultKind, FaultPlan, ResidentChip, StopAfter, StopFlag,
+    VerdictSnapshot,
 };
 use pcv_netlist::eco::EcoDelta;
 use pcv_obs::json::{parse, Value};
-use pcv_obs::{CursorState, EventHub, EventSink, TeeSink};
+use pcv_obs::{CursorState, EngineEvent, EventHub, EventSink, FlightRecorder, TeeSink};
 use pcv_trace::json::{f64_bits, f64_lit, str_lit};
 use pcv_xtalk::{NetVerdict, XtalkError};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the daemon is provisioned.
 #[derive(Debug, Clone)]
@@ -52,6 +54,16 @@ pub struct ServerConfig {
     /// Per-run event archive capacity; overflow is shed and counted in
     /// the `/events` stream trailer.
     pub hub_capacity: usize,
+    /// Whether the observatory records (metrics, access log, flight
+    /// recorder, watchdog). When false the `/metrics` and `/debug/flight`
+    /// surfaces stay up but nothing is recorded — and sign-off artifacts
+    /// are byte-identical either way.
+    pub observe: bool,
+    /// Stall-watchdog no-progress interval in milliseconds; 0 disables
+    /// the watchdog. On a trip it emits a `StallWarning` event, dumps the
+    /// flight recorder, and bumps `pcv_stall_warnings_total` — it never
+    /// stops the run.
+    pub stall_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +73,8 @@ impl Default for ServerConfig {
             data_dir: PathBuf::from("target/pcv_serve"),
             queue_capacity: 8,
             hub_capacity: 1 << 16,
+            observe: true,
+            stall_timeout_ms: 0,
         }
     }
 }
@@ -102,6 +116,15 @@ struct RunOverlay {
     /// Replay the session journal before running (complete an
     /// interrupted run).
     resume: bool,
+    /// Collect a trace for this run (absorbed into `/metrics` after it
+    /// finishes; never touches the sign-off bytes).
+    trace: bool,
+    /// Drill knob: seed a [`FaultKind::Slow`] fault on this fraction of
+    /// victims, forcing them through the slow SPICE-fallback rung — the
+    /// deterministic way to exercise the stall watchdog.
+    drill_slow_frac: Option<f64>,
+    /// Seed for `drill_slow_frac`'s per-victim decision (default 1).
+    drill_seed: Option<u64>,
 }
 
 impl RunOverlay {
@@ -116,6 +139,9 @@ impl RunOverlay {
             "check_receivers" => self.check_receivers = Some(boolean(value, key)?),
             "stop_after" => self.stop_after = Some(uint(value, key)?),
             "resume" => self.resume = boolean(value, key)?,
+            "trace" => self.trace = boolean(value, key)?,
+            "drill_slow_frac" => self.drill_slow_frac = Some(float(value, key)?),
+            "drill_seed" => self.drill_seed = Some(uint(value, key)? as u64),
             _ => return Ok(false),
         }
         Ok(true)
@@ -158,6 +184,7 @@ impl RunOverlay {
         if let Some(c) = self.check_receivers {
             cfg.check_receivers = c;
         }
+        cfg.trace = self.trace;
         cfg
     }
 }
@@ -195,6 +222,9 @@ struct EcoJob {
 struct RunHandle {
     id: String,
     session: String,
+    /// The correlation ID of the HTTP request that submitted this run,
+    /// threaded through the event-stream trailer and the run ledger.
+    corr: String,
     state: Mutex<RunState>,
     hub: Arc<EventHub>,
     snapshot: Arc<VerdictSnapshot>,
@@ -227,6 +257,10 @@ struct Shared {
     listener_stop: AtomicBool,
     /// The in-flight run's stop flag, for the shutdown drain.
     current_stop: Mutex<Option<StopFlag>>,
+    /// The in-flight run handle, for the stall watchdog's heartbeat poll.
+    current_run: Mutex<Option<Arc<RunHandle>>>,
+    watchdog_stop: AtomicBool,
+    obs: Observatory,
 }
 
 /// The resident verification daemon. [`Server::start`] binds and spawns
@@ -237,6 +271,7 @@ pub struct Server {
     addr: SocketAddr,
     listener: Option<JoinHandle<()>>,
     executor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -250,6 +285,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let obs = Observatory::new(&cfg.data_dir, cfg.observe);
         let shared = Arc::new(Shared {
             cfg,
             sessions: RwLock::new(HashMap::new()),
@@ -261,22 +297,54 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             listener_stop: AtomicBool::new(false),
             current_stop: Mutex::new(None),
+            current_run: Mutex::new(None),
+            watchdog_stop: AtomicBool::new(false),
+            obs,
         });
         let accept_shared = Arc::clone(&shared);
         let listener_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
         let exec_shared = Arc::clone(&shared);
         let executor_thread = std::thread::spawn(move || executor_loop(exec_shared));
+        let watchdog_thread = if shared.cfg.observe && shared.cfg.stall_timeout_ms > 0 {
+            let wd_shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || watchdog_loop(wd_shared)))
+        } else {
+            None
+        };
         Ok(Server {
             shared,
             addr,
             listener: Some(listener_thread),
             executor: Some(executor_thread),
+            watchdog: watchdog_thread,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's flight recorder (always present; records only while
+    /// the observatory is enabled or something notes into it directly).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        self.shared.obs.flight()
+    }
+
+    /// The daemon's data directory (caches, artifacts, logs, dumps).
+    pub fn data_dir(&self) -> &Path {
+        &self.shared.cfg.data_dir
+    }
+
+    /// Dump the flight recorder atomically to
+    /// `<data_dir>/flight-<tag>.json` and return the path — the crash /
+    /// signal / watchdog capture path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atomic-write failure.
+    pub fn dump_flight(&self, tag: &str) -> std::io::Result<PathBuf> {
+        dump_flight(&self.shared, tag)
     }
 
     /// Begin the graceful drain: refuse new sessions and runs, raise the
@@ -303,6 +371,10 @@ impl Server {
         if let Some(h) = self.listener.take() {
             let _ = h.join();
         }
+        self.shared.watchdog_stop.store(true, Ordering::Release);
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -311,11 +383,75 @@ impl Drop for Server {
         // A dropped (not joined) server still stops its threads.
         initiate_shutdown(&self.shared);
         self.shared.listener_stop.store(true, Ordering::Release);
+        self.shared.watchdog_stop.store(true, Ordering::Release);
         if let Some(h) = self.executor.take() {
             let _ = h.join();
         }
         if let Some(h) = self.listener.take() {
             let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Atomic flight-recorder dump shared by the watchdog, the public
+/// [`Server::dump_flight`], and (through it) the binary's signal hooks.
+fn dump_flight(shared: &Shared, tag: &str) -> std::io::Result<PathBuf> {
+    let path = shared.cfg.data_dir.join(format!("flight-{tag}.json"));
+    Fs::real().write_atomic(&path, shared.obs.flight().dump_json().as_bytes())?;
+    Ok(path)
+}
+
+/// The stall watchdog: poll the in-flight run's lock-free heartbeat
+/// ([`VerdictSnapshot::beats`]); when it has not advanced for the
+/// configured interval, emit a [`EngineEvent::StallWarning`] onto the
+/// run's event stream, capture a flight dump, and bump the stall metric.
+/// Then re-arm — a watchdog observes, it never kills.
+fn watchdog_loop(shared: Arc<Shared>) {
+    let timeout = Duration::from_millis(shared.cfg.stall_timeout_ms.max(1));
+    let tick = timeout.min(Duration::from_millis(50));
+    // (run id, last seen heartbeat, episode start, next warning threshold).
+    // The threshold doubles on every warning so one long stall produces
+    // O(log duration) warnings, not a flood that fills the event archive
+    // and sheds the run's real events.
+    let mut tracked: Option<(String, u64, Instant, Duration)> = None;
+    while !shared.watchdog_stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let current = shared.current_run.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        let Some(run) = current.filter(|r| r.state() == RunState::Running) else {
+            tracked = None;
+            continue;
+        };
+        let beats = run.snapshot.beats();
+        match &mut tracked {
+            Some((id, last, since, warn_at)) if *id == run.id => {
+                if beats != *last {
+                    // Progress: the episode (if any) is over.
+                    *last = beats;
+                    *since = Instant::now();
+                    *warn_at = timeout;
+                    continue;
+                }
+                if since.elapsed() < *warn_at {
+                    continue;
+                }
+                // `stalled_ms` is the episode's total age, so successive
+                // warnings read 10 ms, 20 ms, 40 ms, … of the same stall.
+                let stalled_ms = since.elapsed().as_millis() as u64;
+                let warning =
+                    EngineEvent::StallWarning { completed: run.snapshot.len(), stalled_ms };
+                run.hub.event(&warning);
+                shared.obs.record_stall(&run.id);
+                shared.obs.flight().note(
+                    "watchdog",
+                    format!("run {} ({}) made no progress for {stalled_ms} ms", run.id, run.corr),
+                );
+                let _ = dump_flight(&shared, &format!("stall-{}", run.id));
+                *warn_at = warn_at.saturating_mul(2);
+            }
+            _ => tracked = Some((run.id.clone(), beats, Instant::now(), timeout)),
         }
     }
 }
@@ -351,6 +487,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_nodelay(true);
+    let started = Instant::now();
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
@@ -360,46 +497,106 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             return;
         }
     };
-    // The events route streams and owns the connection; everything else
-    // produces one JSON document (or a typed error).
+    // Every parsed request gets a correlation ID; it rides through the
+    // response bodies, the event-stream trailer, the run ledger, and the
+    // access log, so one grep ties a client call to everything it caused.
+    let corr = shared.obs.mint_corr();
     let segments: Vec<String> = request.segments().iter().map(|s| s.to_string()).collect();
     let names: Vec<&str> = segments.iter().map(String::as_str).collect();
-    if request.method == "GET" && names.len() == 3 && names[0] == "runs" && names[2] == "events" {
-        stream_events(&mut stream, &shared, names[1]);
-        return;
-    }
-    let outcome: Result<String, ApiError> = route(&request, &names, &shared);
-    match outcome {
-        Ok(body) => {
-            let _ = http::respond_json(&mut stream, 200, "OK", &body);
+    // The events route streams and owns the connection; metrics answers
+    // plain text; everything else produces one JSON document (or a typed
+    // error).
+    let status: u16 = if request.method == "GET"
+        && names.len() == 3
+        && names[0] == "runs"
+        && names[2] == "events"
+    {
+        stream_events(&mut stream, &shared, names[1], &corr)
+    } else if request.method == "GET" && names == ["metrics"] {
+        let body = shared.obs.render_metrics(
+            shared.queue.lock().unwrap_or_else(PoisonError::into_inner).len(),
+            shared.sessions.read().unwrap_or_else(PoisonError::into_inner).len(),
+        );
+        let _ = http::respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", body.as_bytes());
+        200
+    } else {
+        match route(&request, &names, &shared, &corr) {
+            Ok(body) => {
+                let _ = http::respond_json(&mut stream, 200, "OK", &body);
+                200
+            }
+            Err(err) => {
+                let (status, reason, _) = err.status();
+                if status == 429 {
+                    // A typed busy is transient by construction (bounded
+                    // queue, draining daemon, advisory run lock) — tell
+                    // the client when to come back.
+                    let _ = http::respond_with(
+                        &mut stream,
+                        status,
+                        reason,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        err.to_json().as_bytes(),
+                    );
+                } else {
+                    let _ = http::respond_json(&mut stream, status, reason, &err.to_json());
+                }
+                status
+            }
         }
-        Err(err) => {
-            let (status, reason, _) = err.status();
-            let _ = http::respond_json(&mut stream, status, reason, &err.to_json());
-        }
-    }
+    };
+    shared.obs.record_http(
+        &corr,
+        &request.method,
+        &request.path,
+        status,
+        started.elapsed().as_secs_f64(),
+    );
 }
 
-fn route(request: &Request, names: &[&str], shared: &Arc<Shared>) -> Result<String, ApiError> {
+fn route(
+    request: &Request,
+    names: &[&str],
+    shared: &Arc<Shared>,
+    corr: &str,
+) -> Result<String, ApiError> {
     match (request.method.as_str(), names) {
-        ("GET", ["healthz"]) => Ok(format!(
-            "{{\"ok\":true,\"sessions\":{},\"runs\":{},\"draining\":{}}}",
-            shared.sessions.read().unwrap_or_else(PoisonError::into_inner).len(),
-            shared.runs.read().unwrap_or_else(PoisonError::into_inner).len(),
-            shared.shutting_down.load(Ordering::Acquire)
-        )),
+        ("GET", ["healthz"]) => Ok(healthz(shared)),
+        ("GET", ["debug", "flight"]) => Ok(shared.obs.flight().dump_json()),
         ("POST", ["shutdown"]) => {
             initiate_shutdown(shared);
             Ok("{\"draining\":true}".to_owned())
         }
-        ("POST", ["sessions"]) => create_session(shared, &request.body),
+        ("POST", ["sessions"]) => create_session(shared, &request.body, corr),
         ("GET", ["sessions", sid]) => Ok(lookup_session(shared, sid)?.info_json()),
-        ("POST", ["sessions", sid, "runs"]) => submit_run(shared, sid, &request.body),
-        ("POST", ["sessions", sid, "eco"]) => submit_eco(shared, sid, &request.body),
+        ("POST", ["sessions", sid, "runs"]) => submit_run(shared, sid, &request.body, corr),
+        ("POST", ["sessions", sid, "eco"]) => submit_eco(shared, sid, &request.body, corr),
         ("GET", ["runs", rid, "verdicts"]) => verdicts(shared, rid, request.query_get("net")),
         ("GET", ["runs", rid, "signoff"]) => signoff(shared, rid),
         _ => Err(ApiError::NotFound(format!("no route for {} {}", request.method, request.path))),
     }
+}
+
+/// The liveness/readiness document: `ok` (liveness) stays first for
+/// compatibility; `ready` means "not draining and no session mid-
+/// elaboration"; `torn_ledger_lines` surfaces what `ledger::scan` found
+/// on the latest rescan (it used to be computed and dropped).
+fn healthz(shared: &Shared) -> String {
+    let draining = shared.shutting_down.load(Ordering::Acquire);
+    let elaborating = shared.obs.elaborating();
+    format!(
+        "{{\"ok\":true,\"version\":{},\"uptime_s\":{:.3},\"ready\":{},\"elaborating\":{},\
+         \"sessions\":{},\"runs\":{},\"draining\":{},\"torn_ledger_lines\":{}}}",
+        str_lit(env!("CARGO_PKG_VERSION")),
+        shared.obs.uptime_s(),
+        !draining && elaborating == 0,
+        elaborating,
+        shared.sessions.read().unwrap_or_else(PoisonError::into_inner).len(),
+        shared.runs.read().unwrap_or_else(PoisonError::into_inner).len(),
+        draining,
+        shared.obs.torn_lines()
+    )
 }
 
 fn lookup_session(shared: &Shared, sid: &str) -> Result<Arc<Session>, ApiError> {
@@ -422,33 +619,45 @@ fn lookup_run(shared: &Shared, rid: &str) -> Result<Arc<RunHandle>, ApiError> {
         .ok_or_else(|| ApiError::NotFound(format!("no run {rid:?}")))
 }
 
-fn create_session(shared: &Arc<Shared>, body: &str) -> Result<String, ApiError> {
+/// Splice `"corr":"..."` into a response object's trailing position, tying
+/// the answered resource back to the request that created it.
+fn with_corr(json: String, corr: &str) -> String {
+    debug_assert!(json.ends_with('}'));
+    format!("{},\"corr\":{}}}", &json[..json.len() - 1], str_lit(corr))
+}
+
+fn create_session(shared: &Arc<Shared>, body: &str, corr: &str) -> Result<String, ApiError> {
     if shared.shutting_down.load(Ordering::Acquire) {
         return Err(ApiError::Busy("daemon is draining".into()));
     }
     let spec = DesignSpec::from_json(body)?;
     let id = format!("s{}", shared.next_session.fetch_add(1, Ordering::Relaxed) + 1);
     // Elaboration (the expensive one-time task) runs on this connection's
-    // thread — the executor and other queries are unaffected.
-    let session = Arc::new(Session::build(id.clone(), &spec, &shared.cfg.data_dir)?);
+    // thread — the executor and other queries are unaffected. The
+    // readiness probe reports "elaborating" while it is in flight.
+    shared.obs.elaboration_started();
+    let built = Session::build(id.clone(), &spec, &shared.cfg.data_dir);
+    shared.obs.elaboration_finished();
+    let session = Arc::new(built?);
     let info = session.info_json();
     shared.sessions.write().unwrap_or_else(PoisonError::into_inner).insert(id, session);
-    Ok(info)
+    Ok(with_corr(info, corr))
 }
 
-fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, ApiError> {
+fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str, corr: &str) -> Result<String, ApiError> {
     let overlay = RunOverlay::from_json(body)?;
     let session = lookup_session(shared, sid)?;
     if shared.shutting_down.load(Ordering::Acquire) {
         return Err(ApiError::Busy("daemon is draining".into()));
     }
     let total = session.chip().victims().len();
-    let run = enqueue(shared, &session.id, total, overlay, None)?;
+    let run = enqueue(shared, &session.id, total, overlay, None, corr)?;
     Ok(format!(
-        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{}}}",
+        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{},\"corr\":{}}}",
         str_lit(&run.id),
         str_lit(sid),
-        run.total
+        run.total,
+        str_lit(corr)
     ))
 }
 
@@ -463,7 +672,7 @@ fn submit_run(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, Api
 /// the exact old/new pair. The answered JSON carries the plan; the run's
 /// sign-off artifact is the spliced document, byte-identical to a
 /// from-scratch sweep of the edited chip.
-fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, ApiError> {
+fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str, corr: &str) -> Result<String, ApiError> {
     let doc = parse(body).map_err(|e| ApiError::BadRequest(format!("eco body: {e}")))?;
     let obj = doc
         .as_obj()
@@ -499,15 +708,16 @@ fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str) -> Result<String, Api
     let plan_json = plan.to_json();
     let total = new.victims().len();
     let eco = EcoJob { old, new: Arc::clone(&new), plan: plan_json.clone() };
-    let run = enqueue(shared, &session.id, total, overlay, Some(eco))?;
+    let run = enqueue(shared, &session.id, total, overlay, Some(eco), corr)?;
     // The swap happens only after the run is safely queued: a 429 above
     // leaves the resident chip untouched.
     session.swap_chip(new);
     Ok(format!(
-        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{},\"eco\":{}}}",
+        "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{},\"corr\":{},\"eco\":{}}}",
         str_lit(&run.id),
         str_lit(sid),
         run.total,
+        str_lit(corr),
         plan_json
     ))
 }
@@ -519,11 +729,13 @@ fn enqueue(
     total: usize,
     overlay: RunOverlay,
     eco: Option<EcoJob>,
+    corr: &str,
 ) -> Result<Arc<RunHandle>, ApiError> {
     let id = format!("r{}", shared.next_run.fetch_add(1, Ordering::Relaxed) + 1);
     let run = Arc::new(RunHandle {
         id: id.clone(),
         session: sid.to_owned(),
+        corr: corr.to_owned(),
         state: Mutex::new(RunState::Queued),
         hub: Arc::new(EventHub::new(shared.cfg.hub_capacity)),
         snapshot: Arc::new(VerdictSnapshot::new()),
@@ -670,24 +882,24 @@ fn signoff_from_ledger(shared: &Shared, rid: &str) -> Result<String, ApiError> {
         .map_err(|e| ApiError::Internal(format!("artifact {path} unreadable: {e}")))
 }
 
-fn stream_events(stream: &mut TcpStream, shared: &Shared, rid: &str) {
+fn stream_events(stream: &mut TcpStream, shared: &Shared, rid: &str, corr: &str) -> u16 {
     let run = match lookup_run(shared, rid) {
         Ok(run) => run,
         Err(err) => {
             let (status, reason, _) = err.status();
             let _ = http::respond_json(stream, status, reason, &err.to_json());
-            return;
+            return status;
         }
     };
     let mut cursor = run.hub.subscribe();
     let Ok(mut writer) = ChunkedWriter::begin(stream, "application/jsonl") else {
-        return;
+        return 200;
     };
     loop {
         match cursor.poll() {
             Ok(event) => {
                 if writer.line(&event.to_json()).is_err() {
-                    return; // client hung up
+                    return 200; // client hung up
                 }
             }
             Err(CursorState::Open) => std::thread::sleep(Duration::from_millis(5)),
@@ -696,16 +908,22 @@ fn stream_events(stream: &mut TcpStream, shared: &Shared, rid: &str) {
     }
     // The stream trailer: how much this subscriber got and how much the
     // bounded archive shed — dropped events are counted, never silent.
+    // It carries two correlation IDs: the run's (who submitted it) and
+    // this subscriber's own request.
     let trailer = format!(
-        "{{\"kind\":\"stream_trailer\",\"run\":{},\"state\":{},\"delivered\":{},\"dropped\":{}}}",
+        "{{\"kind\":\"stream_trailer\",\"run\":{},\"state\":{},\"delivered\":{},\
+         \"dropped\":{},\"run_corr\":{},\"corr\":{}}}",
         str_lit(rid),
         str_lit(run.state().name()),
         cursor.delivered(),
-        cursor.dropped()
+        cursor.dropped(),
+        str_lit(&run.corr),
+        str_lit(corr)
     );
     if writer.line(&trailer).is_ok() {
         let _ = writer.finish();
     }
+    200
 }
 
 fn executor_loop(shared: Arc<Shared>) {
@@ -759,24 +977,42 @@ fn execute_run(shared: &Shared, run_id: &str) {
         let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
         *current = Some(stop.clone());
     }
+    {
+        let mut current = shared.current_run.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = Some(Arc::clone(&run));
+    }
     // Close the race with a shutdown that arrived between queue pop and
     // flag install: drain immediately instead of running blind.
     if shared.shutting_down.load(Ordering::Acquire) {
         stop.stop();
     }
 
-    let hub_sink: Arc<dyn EventSink> = Arc::clone(&run.hub) as Arc<dyn EventSink>;
-    let sink: Arc<dyn EventSink> = match run.overlay.stop_after {
-        Some(n) => Arc::new(TeeSink::new(vec![
-            hub_sink,
-            Arc::new(StopAfter::new(stop.clone(), n)) as Arc<dyn EventSink>,
-        ])),
-        None => hub_sink,
+    let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::clone(&run.hub) as Arc<dyn EventSink>];
+    if let Some(n) = run.overlay.stop_after {
+        sinks.push(Arc::new(StopAfter::new(stop.clone(), n)) as Arc<dyn EventSink>);
+    }
+    if shared.cfg.observe {
+        // The flight recorder rides as one more sink: a bounded ring whose
+        // eviction is by design, so it reports zero shed events and leaves
+        // EngineStats (and therefore the sign-off bytes) untouched.
+        sinks.push(shared.obs.flight() as Arc<dyn EventSink>);
+    }
+    let sink: Arc<dyn EventSink> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(TeeSink::new(sinks))
     };
     let mut cfg = run.overlay.engine_config(session.cache_path.clone(), Some(sink));
     cfg.durable.stop = Some(stop.clone());
 
-    let engine = Engine::new(cfg);
+    let mut engine = Engine::new(cfg);
+    if let Some(frac) = run.overlay.drill_slow_frac {
+        // The watchdog drill: seed deterministic slow faults so victims
+        // escalate through the recovery ladder's slow rung.
+        let mut plan = FaultPlan::new();
+        plan.seed_probability(run.overlay.drill_seed.unwrap_or(1), frac, FaultKind::Slow, false);
+        engine.set_fault_plan(plan);
+    }
     let outcome = match &run.eco {
         // An ECO run verifies exactly the chip pair the plan was answered
         // for; clean clusters splice from the session's warm cache.
@@ -790,7 +1026,12 @@ fn execute_run(shared: &Shared, run_id: &str) {
         let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
         *current = None;
     }
+    {
+        let mut current = shared.current_run.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = None;
+    }
 
+    absorb_run_observations(shared, &session, &run, &outcome);
     match outcome {
         Ok(report) if report.interrupted => {
             run.set_state(RunState::Interrupted);
@@ -816,6 +1057,32 @@ fn execute_run(shared: &Shared, run_id: &str) {
     session.set_state(SessionState::Completed);
 }
 
+/// Fold a finished run into the observatory: outcome + `EngineStats` into
+/// the registry, the run's trace (when one was requested), and a rescan of
+/// the session's engine ledger so its torn-line count — previously
+/// computed by `ledger::scan` and dropped on this path — reaches
+/// `/metrics` and `/healthz`.
+fn absorb_run_observations(
+    shared: &Shared,
+    session: &Session,
+    run: &RunHandle,
+    outcome: &Result<pcv_engine::EngineReport, XtalkError>,
+) {
+    if !shared.cfg.observe {
+        return;
+    }
+    if let Ok(report) = outcome {
+        let name = if report.interrupted { "interrupted" } else { "complete" };
+        shared.obs.absorb_report(report, name, run.eco.is_some());
+    } else {
+        shared.obs.record_failed_run();
+    }
+    let mut ledger_path = session.cache_path.as_os_str().to_owned();
+    ledger_path.push(".ledger.jsonl");
+    let (_, torn) = pcv_obs::ledger::scan(Path::new(&ledger_path));
+    shared.obs.set_torn_lines(torn as u64);
+}
+
 /// Append one line to the daemon's durable run ledger
 /// (`<data_dir>/runs.jsonl`): run id → outcome (+ artifact path when one
 /// was published, + the ECO plan when the run was a splice). Best-effort,
@@ -823,9 +1090,10 @@ fn execute_run(shared: &Shared, run_id: &str) {
 fn ledger_append(shared: &Shared, run: &RunHandle, outcome: &str, artifact: Option<PathBuf>) {
     let ledger = shared.cfg.data_dir.join("runs.jsonl");
     let mut line = format!(
-        "{{\"run\":{},\"session\":{},\"outcome\":{},\"victims\":{}",
+        "{{\"run\":{},\"session\":{},\"corr\":{},\"outcome\":{},\"victims\":{}",
         str_lit(&run.id),
         str_lit(&run.session),
+        str_lit(&run.corr),
         str_lit(outcome),
         run.total
     );

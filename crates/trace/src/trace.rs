@@ -73,6 +73,30 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Largest sample that lands in bucket `i` — the inclusive upper edge
+    /// a cumulative exposition (e.g. a Prometheus `le` bound) needs.
+    /// Bucket 0 holds only the value 0; bucket `i` (i ≥ 1) tops out at
+    /// `2^i - 1`; bucket 64 tops out at `u64::MAX`.
+    pub fn bucket_ceiling(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            u64::MAX >> (64 - i.min(64))
+        }
+    }
+
+    /// Fold `other` into `self` bucket-by-bucket (saturating sum). The
+    /// merge of two histograms records exactly the union of their samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
 }
 
 /// Aggregate cost of one `(category, name)` span kind.
@@ -152,6 +176,43 @@ mod tests {
         assert_eq!(h.max, 100);
         assert!((h.mean() - 29.0).abs() < 1e-12);
         assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn bucket_ceilings_bound_their_buckets() {
+        assert_eq!(Histogram::bucket_ceiling(0), 0);
+        assert_eq!(Histogram::bucket_ceiling(1), 1);
+        assert_eq!(Histogram::bucket_ceiling(2), 3);
+        assert_eq!(Histogram::bucket_ceiling(3), 7);
+        assert_eq!(Histogram::bucket_ceiling(64), u64::MAX);
+        // Every sample lands in the bucket whose ceiling bounds it.
+        for v in [0u64, 1, 2, 3, 4, 100, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_of(v);
+            assert!(v <= Histogram::bucket_ceiling(i), "{v} exceeds bucket {i} ceiling");
+            if i > 0 {
+                assert!(v > Histogram::bucket_ceiling(i - 1), "{v} fits bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_the_union_of_samples() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [1u64, 9, 100] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 7, 5000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram is the identity.
+        both.merge(&Histogram::default());
+        assert_eq!(a, both);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!   events RUN                                     tail the live JSONL event stream
 //!   verdicts RUN [--net NAME]                      fetch (partial) verdicts
 //!   signoff RUN [--out FILE]                       fetch the sign-off document
+//!   stat [--raw] [--out FILE]                      scrape /metrics (summary or raw exposition)
 //!   smoke [--out FILE]                             load DSP + run + stream + sign-off
 //!   shutdown                                       ask the daemon to drain
 //! ```
@@ -19,10 +20,20 @@
 //! `smoke` drives the full lifecycle with the same DSP configuration the
 //! batch `dsp_chip_signoff` example uses, so CI can byte-compare the
 //! served document against the offline one.
+//!
+//! Run and ECO submissions honor the daemon's `Retry-After` on 429 with
+//! bounded backoff (a handful of attempts, ≤ 2 s sleeps), so a briefly
+//! full queue looks like a slow accept rather than a hard failure.
 
 use pcv_serve::Client;
 use std::io::Write;
 use std::process::exit;
+use std::time::Duration;
+
+/// Busy-retry policy for submissions: up to 5 attempts, each backoff the
+/// server's `Retry-After` capped at 2 s.
+const RETRY_ATTEMPTS: u32 = 5;
+const RETRY_CAP: Duration = Duration::from_secs(2);
 
 fn fail(msg: &str) -> ! {
     eprintln!("pcv_client: {msg}");
@@ -69,7 +80,7 @@ fn main() {
     let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let client = Client::new(addr);
     if args.is_empty() {
-        fail("no command; try: load-dsp | load-spef | run | eco | events | verdicts | signoff | smoke | shutdown");
+        fail("no command; try: load-dsp | load-spef | run | eco | events | verdicts | signoff | stat | smoke | shutdown");
     }
     let command = args.remove(0);
     match command.as_str() {
@@ -119,8 +130,9 @@ fn main() {
             }
             let body = format!("{{{}}}", fields.join(","));
             let path = format!("/sessions/{session}/runs");
-            let resp =
-                client.request("POST", &path, &body).unwrap_or_else(|e| fail(&e.to_string()));
+            let resp = client
+                .request_with_retry("POST", &path, &body, RETRY_ATTEMPTS, RETRY_CAP)
+                .unwrap_or_else(|e| fail(&e.to_string()));
             expect_ok("run", &resp);
             println!("{}", resp.body);
         }
@@ -141,7 +153,13 @@ fn main() {
             }
             let body = format!("{{{}}}", fields.join(","));
             let resp = client
-                .request("POST", &format!("/sessions/{session}/eco"), &body)
+                .request_with_retry(
+                    "POST",
+                    &format!("/sessions/{session}/eco"),
+                    &body,
+                    RETRY_ATTEMPTS,
+                    RETRY_CAP,
+                )
                 .unwrap_or_else(|e| fail(&e.to_string()));
             expect_ok("eco", &resp);
             println!("{}", resp.body);
@@ -182,6 +200,25 @@ fn main() {
             expect_ok("signoff", &resp);
             emit(&resp.body, take_flag(&mut args, "--out"));
         }
+        "stat" => {
+            let raw = take_switch(&mut args, "--raw");
+            let out = take_flag(&mut args, "--out");
+            let resp =
+                client.request("GET", "/metrics", "").unwrap_or_else(|e| fail(&e.to_string()));
+            expect_ok("stat", &resp);
+            if raw || out.is_some() {
+                emit(&resp.body, out);
+            } else {
+                // Compact human summary: one line per series, comments
+                // dropped, histogram buckets collapsed to _sum/_count.
+                for line in resp.body.lines() {
+                    if line.starts_with('#') || line.contains("_bucket{") {
+                        continue;
+                    }
+                    println!("{line}");
+                }
+            }
+        }
         "smoke" => {
             // The batch dsp_chip_signoff example's configuration, so the
             // served sign-off is byte-comparable against the offline one.
@@ -194,7 +231,13 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("no session id in {}", resp.body)));
             eprintln!("smoke: session {session} ready");
             let resp = client
-                .request("POST", &format!("/sessions/{session}/runs"), "{}")
+                .request_with_retry(
+                    "POST",
+                    &format!("/sessions/{session}/runs"),
+                    "{}",
+                    RETRY_ATTEMPTS,
+                    RETRY_CAP,
+                )
                 .unwrap_or_else(|e| fail(&e.to_string()));
             expect_ok("smoke: run", &resp);
             let run = json_str_field(&resp.body, "run")

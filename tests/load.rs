@@ -168,6 +168,26 @@ fn eight_concurrent_clients_are_served_without_deadlock() {
                 }
             });
         }
+        // A scraper rides alongside the eight: /metrics must serve valid
+        // exposition and /debug/flight valid JSON while the run is in
+        // flight, without deadlocking against the executor or the readers.
+        {
+            let client = client.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let resp = client.request("GET", "/metrics", "").unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    assert!(resp.body.contains("pcv_"), "{}", resp.body);
+                    pcv_serve::check_exposition(&resp.body)
+                        .unwrap_or_else(|e| panic!("mid-run scrape invalid: {e}"));
+                    let resp = client.request("GET", "/debug/flight", "").unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    pcv_obs::json::parse(&resp.body)
+                        .unwrap_or_else(|e| panic!("flight dump invalid: {e}"));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
     });
 
     let resp = client.request("GET", &format!("/runs/{run}/signoff"), "").unwrap();
