@@ -93,6 +93,13 @@ impl ResultCache {
         self.entries.get(name).filter(|e| e.fingerprint == fingerprint)
     }
 
+    /// Look up an entry by victim name alone — the shard-merge harvest
+    /// path, where the caller recomputes the fingerprint itself and
+    /// decides freshness on its own terms.
+    pub fn get(&self, name: &str) -> Option<&CacheEntry> {
+        self.entries.get(name)
+    }
+
     /// Insert or replace an entry.
     pub fn insert(&mut self, name: String, entry: CacheEntry) {
         self.entries.insert(name, entry);

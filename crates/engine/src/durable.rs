@@ -365,6 +365,25 @@ impl Journal {
         self.fs.append_durable(&self.path, frame(&entry.to_json()).as_bytes())
     }
 
+    /// Append a batch of checkpoint records in one durable write — the
+    /// coordinator's journal-merge path, where per-entry fsync would turn
+    /// a thousand-cluster merge into a thousand disk round-trips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the append is all-or-torn-tail, and a torn
+    /// tail is exactly what [`Journal::load`] tolerates.
+    pub fn record_all(&self, entries: &[JournalEntry]) -> io::Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::new();
+        for entry in entries {
+            buf.push_str(&frame(&entry.to_json()));
+        }
+        self.fs.append_durable(&self.path, buf.as_bytes())
+    }
+
     /// Load a journal for replay. Never errors: a missing file is an empty
     /// load, and corrupt lines — torn tail appends, bit flips — are
     /// counted in [`JournalLoad::skipped`] and dropped.

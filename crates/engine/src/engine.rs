@@ -300,6 +300,39 @@ impl Engine {
         self.run(&chip.ctx(), chip.victims(), true, Some(chip.component_sizes()), snapshot)
     }
 
+    /// [`Engine::verify_resident`] restricted to an explicit victim slice
+    /// — the shard-worker path, where each process audits only the
+    /// victims its shard owns but elaborates the full chip so cluster
+    /// fingerprints match the coordinator's.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::verify`].
+    pub fn verify_slice(
+        &self,
+        chip: &ResidentChip,
+        victims: &[PNetId],
+        snapshot: Option<&VerdictSnapshot>,
+    ) -> Result<EngineReport, XtalkError> {
+        self.run(&chip.ctx(), victims, false, Some(chip.component_sizes()), snapshot)
+    }
+
+    /// [`Engine::resume_resident`] restricted to an explicit victim slice
+    /// — a restarted shard worker replays its own journal and finishes
+    /// only its slice's tail.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::verify`].
+    pub fn resume_slice(
+        &self,
+        chip: &ResidentChip,
+        victims: &[PNetId],
+        snapshot: Option<&VerdictSnapshot>,
+    ) -> Result<EngineReport, XtalkError> {
+        self.run(&chip.ctx(), victims, true, Some(chip.component_sizes()), snapshot)
+    }
+
     /// [`Engine::verify`], but first replay the checkpoint journal a
     /// previous (interrupted or killed) run left next to the cache:
     /// journaled verdicts whose cluster fingerprint still matches the

@@ -84,6 +84,7 @@ pub mod recovery;
 pub mod report;
 pub mod resident;
 pub mod scheduler;
+pub mod shard;
 
 pub use cache::{CacheEntry, CacheLoadStats, CachedReceiver, ResultCache};
 pub use durable::{
@@ -99,3 +100,7 @@ pub use recovery::{
 };
 pub use report::{ClusterCost, EngineError, EngineReport, EngineStats};
 pub use resident::{ResidentChip, VerdictSnapshot};
+pub use shard::{
+    harvest_shard, partition, shard_of, worst_case_entries, write_merged_journal,
+    PlannedShardFault, ShardContribution, ShardFault, ShardFaultPlan,
+};

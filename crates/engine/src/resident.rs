@@ -160,6 +160,13 @@ impl VerdictSnapshot {
         self.beats.load(std::sync::atomic::Ordering::Acquire)
     }
 
+    /// Record a liveness beat without publishing a verdict — how a shard
+    /// coordinator keeps the stall watchdog informed while workers are
+    /// between verdicts (an idle-but-alive worker is not a stall).
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
     /// The verdict for one net, if its cluster has completed.
     pub fn get(&self, name: &str) -> Option<NetVerdict> {
         let done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -1,0 +1,349 @@
+//! Deterministic sharding of a chip's victim set across worker processes.
+//!
+//! A shard is a *stable* slice of the victim list: assignment hashes each
+//! victim's **name** (never its `PNetId`, which depends on parse order)
+//! through FNV-1a plus a splitmix64 finalizer, so a re-run, a replacement
+//! worker, or a differently-threaded coordinator all derive the identical
+//! work slice. Within a shard, victims keep their chip-order relative
+//! positions, which keeps per-shard journals and caches replayable.
+//!
+//! The module also carries the coordinator's merge primitives: a shard
+//! that finished delivers verdicts through its result cache; a shard that
+//! died mid-run leaves a journal remnant; a shard that exhausted its
+//! restart budget contributes synthesized conservative
+//! [`RecoveryRung::WorstCase`] entries (never a hole in the report). The
+//! coordinator folds all three into one merged journal under its own
+//! header and replays it through the ordinary resume path — byte-identity
+//! with a single-process run is inherited from the resume proof, not
+//! re-argued here.
+//!
+//! [`ShardFaultPlan`] is the chaos layer: deterministic worker-side
+//! drills (panic, stall) and coordinator-side drills (SIGKILL at a
+//! fraction, torn journal, duplicate journal entry) so every failure mode
+//! the supervisor claims to survive is a repeatable test, not an anecdote.
+
+use crate::cache::ResultCache;
+use crate::durable::{Journal, JournalEntry, ReplayAttempt, ReplayDegradation};
+use crate::fingerprint::{cluster_fingerprint, Fnv1a};
+use crate::fs::Fs;
+use crate::recovery::RecoveryRung;
+use crate::resident::ResidentChip;
+use pcv_netlist::PNetId;
+use pcv_xtalk::prune::prune_victim_with_components;
+use pcv_xtalk::PruneConfig;
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+
+/// splitmix64 finalizer: decorrelates the FNV stream from the modulus so
+/// bucket balance does not depend on name suffix patterns (bus bit
+/// indices, for instance, differ only in their last bytes).
+fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The shard (in `0..shards`) that owns the victim named `name`.
+///
+/// Pure function of the name and the shard count — independent of net
+/// ids, victim order, worker count, and platform.
+#[must_use]
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    let shards = shards.max(1);
+    let mut h = Fnv1a::new();
+    h.write_str("pcv-shard v1");
+    h.write_str(name);
+    (splitmix64(h.finish()) % shards as u64) as usize
+}
+
+/// Partition `victims` into `shards` stable slices by [`shard_of`],
+/// preserving chip order within each slice.
+///
+/// Every victim lands in exactly one slice; empty slices are possible
+/// (and fine) for tiny victim sets.
+#[must_use]
+pub fn partition(chip: &ResidentChip, victims: &[PNetId], shards: usize) -> Vec<Vec<PNetId>> {
+    let shards = shards.max(1);
+    let mut slices = vec![Vec::new(); shards];
+    for &v in victims {
+        slices[shard_of(chip.db().net(v).name(), shards)].push(v);
+    }
+    slices
+}
+
+/// One deterministic failure drill, aimed at a single shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardFault {
+    /// Worker aborts (as a panic/crash would) after emitting this many
+    /// verdicts. Executed worker-side.
+    PanicAfter(usize),
+    /// Worker stops emitting output — verdicts, beats, the `done` line —
+    /// after this many verdicts, forever. Executed worker-side; the
+    /// coordinator's heartbeat deadline is what catches it.
+    StallAfter(usize),
+    /// Coordinator SIGKILLs the worker once it has streamed at least
+    /// `frac` of its slice (e.g. `0.25`, `0.5`, `0.75`).
+    SigkillAtFrac(f64),
+    /// After killing the worker, tear the final line of its shard journal
+    /// (truncate mid-frame) before the restart — the replay must drop
+    /// exactly that line and recompute it.
+    TornJournal,
+    /// After killing the worker, append a duplicate of the journal's last
+    /// intact cluster record — replay must dedupe by victim name.
+    DuplicateEntry,
+}
+
+/// One planned fault: which shard, what fault, and whether it re-arms
+/// after a restart (`persistent`) or fires once (the default — drills
+/// that should let the restarted worker finish cleanly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedShardFault {
+    /// Target shard index.
+    pub shard: usize,
+    /// The drill.
+    pub fault: ShardFault,
+    /// `true` re-arms after every restart (how the restart budget gets
+    /// exhausted on purpose); `false` fires on the first incarnation only.
+    pub persistent: bool,
+}
+
+/// A deterministic chaos schedule for a sharded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardFaultPlan {
+    faults: Vec<PlannedShardFault>,
+}
+
+impl ShardFaultPlan {
+    /// An empty plan (no drills).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a one-shot fault against `shard`: it fires on the shard's
+    /// first incarnation and is disarmed for restarts.
+    #[must_use]
+    pub fn with_fault(mut self, shard: usize, fault: ShardFault) -> Self {
+        self.faults.push(PlannedShardFault { shard, fault, persistent: false });
+        self
+    }
+
+    /// Arm a persistent fault against `shard`: every incarnation —
+    /// including restarts — re-runs the drill, which is how a restart
+    /// budget gets exhausted deterministically.
+    #[must_use]
+    pub fn with_persistent_fault(mut self, shard: usize, fault: ShardFault) -> Self {
+        self.faults.push(PlannedShardFault { shard, fault, persistent: true });
+        self
+    }
+
+    /// Faults aimed at `shard`, filtered for the given incarnation:
+    /// `incarnation` 0 is the first launch, 1+ are restarts (which see
+    /// only persistent faults).
+    pub fn faults_for(
+        &self,
+        shard: usize,
+        incarnation: u32,
+    ) -> impl Iterator<Item = &PlannedShardFault> {
+        self.faults.iter().filter(move |f| f.shard == shard && (incarnation == 0 || f.persistent))
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Synthesize conservative [`RecoveryRung::WorstCase`] journal entries
+/// for victims a dead shard never finished: rail-to-rail peaks
+/// (`rise = vdd`, `fall = -vdd`), no receiver check, and a recorded
+/// degradation trail explaining *why* (the supervision verdict in
+/// `reason`). The cluster fingerprint is computed coordinator-side
+/// exactly as the engine would, so replay adopts these entries verbatim
+/// instead of silently recomputing a real verdict.
+#[must_use]
+pub fn worst_case_entries(
+    chip: &ResidentChip,
+    prune: &PruneConfig,
+    config_fp: u64,
+    vdd: f64,
+    missing: &[PNetId],
+    reason: &str,
+) -> Vec<JournalEntry> {
+    let ctx = chip.ctx();
+    missing
+        .iter()
+        .map(|&v| {
+            let cluster = prune_victim_with_components(ctx.db, v, prune, chip.component_sizes());
+            JournalEntry {
+                name: ctx.db.net(v).name().to_owned(),
+                fingerprint: cluster_fingerprint(&ctx, &cluster, config_fp),
+                rise_bits: vdd.to_bits(),
+                fall_bits: (-vdd).to_bits(),
+                receiver: None,
+                degraded: Some(ReplayDegradation {
+                    recovered: RecoveryRung::WorstCase,
+                    attempts: vec![ReplayAttempt {
+                        rung: RecoveryRung::Baseline,
+                        reason: reason.to_owned(),
+                    }],
+                }),
+            }
+        })
+        .collect()
+}
+
+/// What one shard contributed at merge time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardContribution {
+    /// Entries harvested from the shard's result cache (the shard
+    /// finished its slice).
+    pub from_cache: usize,
+    /// Entries harvested from the shard's journal remnant (the shard
+    /// died mid-run with checkpoints on disk).
+    pub from_journal: usize,
+    /// Conservative worst-case entries synthesized for victims the shard
+    /// never delivered.
+    pub worst_case: usize,
+    /// Torn/corrupt journal lines skipped while harvesting.
+    pub torn_lines: usize,
+}
+
+/// Harvest everything shard `slice` produced — cache first, then journal
+/// remnant — and fill the remainder with [`worst_case_entries`] when
+/// `reason` is `Some` (a shard that exhausted its restart budget).
+///
+/// Entries are emitted in slice order. Cache entries are only adopted
+/// when their stored fingerprint matches the current cluster fingerprint,
+/// and journal entries only when the journal header matches
+/// `(config_fp, shard chip fingerprint)` — stale artifacts degrade to
+/// recomputation (or worst-case), never to a wrong verdict.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn harvest_shard(
+    chip: &ResidentChip,
+    prune: &PruneConfig,
+    config_fp: u64,
+    vdd: f64,
+    slice: &[PNetId],
+    cache_path: &Path,
+    fs: &Fs,
+    exhausted_reason: Option<&str>,
+) -> (Vec<JournalEntry>, ShardContribution) {
+    let ctx = chip.ctx();
+    let mut out = Vec::new();
+    let mut stat = ShardContribution::default();
+
+    let (cache, cache_stats) = ResultCache::load_with(fs, cache_path);
+    stat.torn_lines += usize::from(cache_stats.torn);
+
+    let shard_fp = crate::fingerprint::chip_slice_fingerprint(&ctx, slice);
+    let load = Journal::load(fs, &Journal::path_for(cache_path));
+    stat.torn_lines += load.skipped;
+    let journal_ok = load.header == Some((config_fp, shard_fp));
+    let mut journaled: std::collections::HashMap<&str, &JournalEntry> =
+        std::collections::HashMap::new();
+    if journal_ok {
+        for e in &load.entries {
+            journaled.insert(e.name.as_str(), e); // last write wins; dupes collapse
+        }
+    }
+
+    let mut missing = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for &v in slice {
+        let name = ctx.db.net(v).name();
+        if !seen.insert(name) {
+            continue;
+        }
+        let cluster = prune_victim_with_components(ctx.db, v, prune, chip.component_sizes());
+        let fp = cluster_fingerprint(&ctx, &cluster, config_fp);
+        if let Some(entry) = cache.get(name).filter(|e| e.fingerprint == fp) {
+            out.push(JournalEntry {
+                name: name.to_owned(),
+                fingerprint: entry.fingerprint,
+                rise_bits: entry.rise_bits,
+                fall_bits: entry.fall_bits,
+                receiver: entry.receiver.clone(),
+                degraded: None,
+            });
+            stat.from_cache += 1;
+        } else if let Some(&entry) = journaled.get(name).filter(|e| e.fingerprint == fp) {
+            out.push(entry.clone());
+            stat.from_journal += 1;
+        } else if exhausted_reason.is_some() {
+            missing.push(v);
+        }
+    }
+    if let Some(reason) = exhausted_reason {
+        let wc = worst_case_entries(chip, prune, config_fp, vdd, &missing, reason);
+        stat.worst_case = wc.len();
+        out.extend(wc);
+    }
+    (out, stat)
+}
+
+/// Write the coordinator's merged journal: a fresh header over the
+/// **full** victim list, followed by every harvested entry in one
+/// durable batch. [`crate::Engine::resume_resident`] over the merged
+/// cache path then adopts matching entries bit-for-bit and recomputes
+/// any stragglers — producing a sign-off byte-identical to a
+/// single-process run.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the header write or the batch append.
+pub fn write_merged_journal(
+    fs: &Fs,
+    merged_cache: &Path,
+    config_fp: u64,
+    chip_fp: u64,
+    entries: &[JournalEntry],
+) -> io::Result<()> {
+    let path = Journal::path_for(merged_cache);
+    let journal = Journal::begin(fs, &path, config_fp, chip_fp)?;
+    journal.record_all(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8] {
+            for name in ["bus0.3", "net_17", "clk", "rnd42"] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "assignment must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_bus_bits() {
+        // Names differing only in a trailing index must not all collapse
+        // into one bucket.
+        let mut seen = HashSet::new();
+        for bit in 0..32 {
+            seen.insert(shard_of(&format!("bus0.{bit}"), 4));
+        }
+        assert!(seen.len() >= 3, "splitmix finalizer should spread suffix-only names");
+    }
+
+    #[test]
+    fn fault_plan_one_shot_vs_persistent() {
+        let plan = ShardFaultPlan::new()
+            .with_fault(1, ShardFault::SigkillAtFrac(0.5))
+            .with_persistent_fault(2, ShardFault::PanicAfter(0));
+        assert_eq!(plan.faults_for(1, 0).count(), 1);
+        assert_eq!(plan.faults_for(1, 1).count(), 0, "one-shot disarms on restart");
+        assert_eq!(plan.faults_for(2, 3).count(), 1, "persistent survives restarts");
+        assert_eq!(plan.faults_for(0, 0).count(), 0);
+    }
+}

@@ -17,12 +17,24 @@
 //! Crash capture: SIGQUIT dumps the flight recorder to
 //! `<data_dir>/flight-sigquit.json` (and keeps serving); a panic on any
 //! thread dumps to `<data_dir>/flight-panic.json` before unwinding.
+//!
+//! `pcv_serve --shard-worker` is a different animal entirely: no
+//! listener, no daemon — the process reads one JSON config line on stdin,
+//! verifies one shard of a chip, streams JSONL progress on stdout, and
+//! exits. The shard coordinator (a daemon run with `"shards": N`, or the
+//! `Coordinator` API directly) spawns these.
 
 use pcv_engine::fs::Fs;
+use pcv_obs::TrackingAlloc;
 use pcv_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Track allocations so shard workers report a real `peak_alloc_bytes`
+/// in their `done` line (the per-shard bounded-memory telemetry).
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::system();
 
 /// Set by the signal handler; the main loop polls it.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
@@ -66,6 +78,11 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Worker mode dispatches before the daemon flag loop: the child's
+    // whole argv is `--shard-worker` and its config arrives on stdin.
+    if std::env::args().nth(1).as_deref() == Some("--shard-worker") {
+        std::process::exit(pcv_serve::worker::run_worker());
+    }
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7171".into(),
         stall_timeout_ms: 30_000,

@@ -28,6 +28,10 @@ pub enum ApiError {
     Busy(String),
     /// 500 — the run itself failed in a way the client cannot repair.
     Internal(String),
+    /// 504 — a sharded run blew through its coordinator-side deadline;
+    /// the workers were killed and the run failed with this typed error
+    /// instead of leaving the client on a hung stream.
+    Timeout(String),
 }
 
 impl ApiError {
@@ -40,6 +44,7 @@ impl ApiError {
             ApiError::Conflict(_) => (409, "Conflict", "conflict"),
             ApiError::Busy(_) => (429, "Too Many Requests", "busy"),
             ApiError::Internal(_) => (500, "Internal Server Error", "internal"),
+            ApiError::Timeout(_) => (504, "Gateway Timeout", "deadline_exceeded"),
         }
     }
 
@@ -50,7 +55,8 @@ impl ApiError {
             | ApiError::NotFound(m)
             | ApiError::Conflict(m)
             | ApiError::Busy(m)
-            | ApiError::Internal(m) => m,
+            | ApiError::Internal(m)
+            | ApiError::Timeout(m) => m,
         }
     }
 
@@ -97,6 +103,8 @@ mod tests {
         assert_eq!(ApiError::Conflict("x".into()).status().0, 409);
         assert_eq!(ApiError::Busy("x".into()).status().0, 429);
         assert_eq!(ApiError::Internal("x".into()).status().0, 500);
+        assert_eq!(ApiError::Timeout("x".into()).status().0, 504);
+        assert!(ApiError::Timeout("x".into()).to_json().contains("deadline_exceeded"));
     }
 
     #[test]

@@ -59,9 +59,12 @@ pub mod http;
 pub mod observe;
 pub mod server;
 pub mod session;
+pub mod shard;
+pub mod worker;
 
 pub use client::{Client, Response};
 pub use error::ApiError;
 pub use observe::{check_access_log, check_exposition, Observatory};
 pub use server::{Server, ServerConfig};
 pub use session::{DesignSpec, Session, SessionState, VictimSel};
+pub use shard::{Coordinator, CoordinatorConfig, ShardRunOutcome, ShardStats};

@@ -42,6 +42,9 @@ pub struct Observatory {
     /// Torn (unparseable) lines seen by the most recent engine-ledger
     /// rescan — surfaced in `/metrics` and `/healthz`.
     torn: AtomicU64,
+    /// Per-shard torn journal-line counts from the most recent sharded
+    /// run (index = shard) — surfaced in `/healthz`.
+    shard_torn: std::sync::Mutex<Vec<u64>>,
     /// Sessions currently elaborating (readiness: ready once 0).
     elaborating: AtomicU64,
     next_corr: AtomicU64,
@@ -65,6 +68,7 @@ impl Observatory {
             access_path: data_dir.join("access.jsonl"),
             start: Instant::now(),
             torn: AtomicU64::new(0),
+            shard_torn: std::sync::Mutex::new(Vec::new()),
             elaborating: AtomicU64::new(0),
             next_corr: AtomicU64::new(0),
         }
@@ -228,6 +232,60 @@ impl Observatory {
         if let Some(trace) = &report.trace {
             r.absorb_trace(trace);
         }
+    }
+
+    /// Fold a finished sharded run's supervision telemetry into the
+    /// registry (`pcv_shard_*` series) and the `/healthz` per-shard torn
+    /// counts. The merged report itself still goes through
+    /// [`Observatory::absorb_report`] like any other run.
+    pub fn absorb_shard_run(&self, outcome: &crate::shard::ShardRunOutcome) {
+        if !self.enabled {
+            return;
+        }
+        let torn: Vec<u64> = outcome.shards.iter().map(|s| s.torn_journal_lines as u64).collect();
+        *self.shard_torn.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = torn;
+        let r = &self.registry;
+        r.counter_add(
+            "pcv_shard_restarts_total",
+            "Shard-worker restarts performed by the coordinator.",
+            &[],
+            outcome.restarts(),
+        );
+        r.counter_add(
+            "pcv_shard_heartbeat_misses_total",
+            "Shard-worker heartbeat deadlines missed (each kills an incarnation).",
+            &[],
+            outcome.heartbeat_misses(),
+        );
+        r.counter_add(
+            "pcv_shard_degraded_total",
+            "Shards that exhausted their restart budget (WorstCase fill).",
+            &[],
+            outcome.degraded_shards(),
+        );
+        for s in &outcome.shards {
+            r.gauge_set(
+                "pcv_shard_peak_heap_bytes",
+                "Peak tracked heap per shard worker (0 without track-alloc).",
+                &[("shard", &s.shard.to_string())],
+                s.peak_alloc_bytes as f64,
+            );
+        }
+    }
+
+    /// The `/healthz` per-shard torn-line object: `{"0":1,"1":0,...}`
+    /// (`{}` before any sharded run).
+    pub fn shard_torn_json(&self) -> String {
+        let torn = self.shard_torn.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::from("{");
+        for (k, t) in torn.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{t}"));
+        }
+        out.push('}');
+        out
     }
 
     /// Refresh the scrape-time gauges and render the registry as

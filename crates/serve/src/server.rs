@@ -23,6 +23,7 @@ use crate::error::ApiError;
 use crate::http::{self, ChunkedWriter, Request};
 use crate::observe::Observatory;
 use crate::session::{DesignSpec, Session, SessionState};
+use crate::shard::{Coordinator, CoordinatorConfig};
 use pcv_engine::fs::Fs;
 use pcv_engine::{
     EcoPlan, Engine, EngineConfig, FaultKind, FaultPlan, ResidentChip, StopAfter, StopFlag,
@@ -64,6 +65,11 @@ pub struct ServerConfig {
     /// flight recorder, and bumps `pcv_stall_warnings_total` — it never
     /// stops the run.
     pub stall_timeout_ms: u64,
+    /// The `pcv_serve` binary to spawn as `--shard-worker` children for
+    /// sharded runs. `None` means the daemon's own executable (the normal
+    /// deployment); tests hosting a [`Server`] in-process point this at
+    /// the real binary.
+    pub worker_exe: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             hub_capacity: 1 << 16,
             observe: true,
             stall_timeout_ms: 0,
+            worker_exe: None,
         }
     }
 }
@@ -125,6 +132,17 @@ struct RunOverlay {
     drill_slow_frac: Option<f64>,
     /// Seed for `drill_slow_frac`'s per-victim decision (default 1).
     drill_seed: Option<u64>,
+    /// ≥ 2 routes the run through the shard coordinator: this many worker
+    /// processes, merged back byte-identically.
+    shards: Option<usize>,
+    /// Per-shard heartbeat deadline in milliseconds (default 10 000): a
+    /// worker silent this long is killed and restarted.
+    shard_timeout_ms: Option<u64>,
+    /// Whole-run deadline in milliseconds; blowing it fails the run with
+    /// a typed 504 instead of hanging the event stream.
+    deadline_ms: Option<u64>,
+    /// Restart budget per shard before WorstCase degradation (default 3).
+    shard_restarts: Option<u32>,
 }
 
 impl RunOverlay {
@@ -142,6 +160,10 @@ impl RunOverlay {
             "trace" => self.trace = boolean(value, key)?,
             "drill_slow_frac" => self.drill_slow_frac = Some(float(value, key)?),
             "drill_seed" => self.drill_seed = Some(uint(value, key)? as u64),
+            "shards" => self.shards = Some(uint(value, key)?),
+            "shard_timeout_ms" => self.shard_timeout_ms = Some(uint(value, key)? as u64),
+            "deadline_ms" => self.deadline_ms = Some(uint(value, key)? as u64),
+            "shard_restarts" => self.shard_restarts = Some(uint(value, key)? as u32),
             _ => return Ok(false),
         }
         Ok(true)
@@ -161,7 +183,25 @@ impl RunOverlay {
                 return Err(ApiError::BadRequest(format!("unknown run option {key:?}")));
             }
         }
+        overlay.validate()?;
         Ok(overlay)
+    }
+
+    /// Cross-field checks shared by the run and ECO submit paths.
+    fn validate(&self) -> Result<(), ApiError> {
+        let sharded = self.shards.is_some_and(|s| s >= 2);
+        if !sharded {
+            for (set, key) in [
+                (self.shard_timeout_ms.is_some(), "shard_timeout_ms"),
+                (self.deadline_ms.is_some(), "deadline_ms"),
+                (self.shard_restarts.is_some(), "shard_restarts"),
+            ] {
+                if set {
+                    return Err(ApiError::BadRequest(format!("{key} requires \"shards\" >= 2")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The engine configuration this overlay resolves to. The same
@@ -587,7 +627,8 @@ fn healthz(shared: &Shared) -> String {
     let elaborating = shared.obs.elaborating();
     format!(
         "{{\"ok\":true,\"version\":{},\"uptime_s\":{:.3},\"ready\":{},\"elaborating\":{},\
-         \"sessions\":{},\"runs\":{},\"draining\":{},\"torn_ledger_lines\":{}}}",
+         \"sessions\":{},\"runs\":{},\"draining\":{},\"torn_ledger_lines\":{},\
+         \"shard_torn_journal_lines\":{}}}",
         str_lit(env!("CARGO_PKG_VERSION")),
         shared.obs.uptime_s(),
         !draining && elaborating == 0,
@@ -595,7 +636,8 @@ fn healthz(shared: &Shared) -> String {
         shared.sessions.read().unwrap_or_else(PoisonError::into_inner).len(),
         shared.runs.read().unwrap_or_else(PoisonError::into_inner).len(),
         draining,
-        shared.obs.torn_lines()
+        shared.obs.torn_lines(),
+        shared.obs.shard_torn_json()
     )
 }
 
@@ -694,6 +736,12 @@ fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str, corr: &str) -> Result
     let text = text.ok_or_else(|| {
         ApiError::BadRequest("eco needs \"text\": the full edited SPEF document".into())
     })?;
+    overlay.validate()?;
+    if overlay.shards.is_some_and(|s| s >= 2) {
+        // An ECO splice reads the warm session cache in-process; fanning
+        // it out would recompute the clean set and defeat the splice.
+        return Err(ApiError::BadRequest("eco runs cannot be sharded".into()));
+    }
     let session = lookup_session(shared, sid)?;
     if shared.shutting_down.load(Ordering::Acquire) {
         return Err(ApiError::Busy("daemon is draining".into()));
@@ -710,8 +758,11 @@ fn submit_eco(shared: &Arc<Shared>, sid: &str, body: &str, corr: &str) -> Result
     let eco = EcoJob { old, new: Arc::clone(&new), plan: plan_json.clone() };
     let run = enqueue(shared, &session.id, total, overlay, Some(eco), corr)?;
     // The swap happens only after the run is safely queued: a 429 above
-    // leaves the resident chip untouched.
+    // leaves the resident chip untouched. The stored spec follows the
+    // chip, so a later sharded run's workers elaborate the patched
+    // netlist, not the original upload.
     session.swap_chip(new);
+    session.record_eco_text(&text);
     Ok(format!(
         "{{\"run\":{},\"session\":{},\"state\":\"queued\",\"total\":{},\"corr\":{},\"eco\":{}}}",
         str_lit(&run.id),
@@ -1002,25 +1053,38 @@ fn execute_run(shared: &Shared, run_id: &str) {
     } else {
         Arc::new(TeeSink::new(sinks))
     };
-    let mut cfg = run.overlay.engine_config(session.cache_path.clone(), Some(sink));
-    cfg.durable.stop = Some(stop.clone());
+    let sharded = run.eco.is_none() && run.overlay.shards.is_some_and(|s| s >= 2);
+    let outcome: Result<pcv_engine::EngineReport, ApiError> = if sharded {
+        execute_sharded(shared, &session, &run, sink, &stop)
+    } else {
+        let mut cfg = run.overlay.engine_config(session.cache_path.clone(), Some(sink));
+        cfg.durable.stop = Some(stop.clone());
 
-    let mut engine = Engine::new(cfg);
-    if let Some(frac) = run.overlay.drill_slow_frac {
-        // The watchdog drill: seed deterministic slow faults so victims
-        // escalate through the recovery ladder's slow rung.
-        let mut plan = FaultPlan::new();
-        plan.seed_probability(run.overlay.drill_seed.unwrap_or(1), frac, FaultKind::Slow, false);
-        engine.set_fault_plan(plan);
-    }
-    let outcome = match &run.eco {
-        // An ECO run verifies exactly the chip pair the plan was answered
-        // for; clean clusters splice from the session's warm cache.
-        Some(eco) => engine
-            .eco_verify_resident(&eco.old, &eco.new, run.overlay.resume, Some(&run.snapshot))
-            .map(|o| o.report),
-        None if run.overlay.resume => engine.resume_resident(&session.chip(), Some(&run.snapshot)),
-        None => engine.verify_resident(&session.chip(), Some(&run.snapshot)),
+        let mut engine = Engine::new(cfg);
+        if let Some(frac) = run.overlay.drill_slow_frac {
+            // The watchdog drill: seed deterministic slow faults so victims
+            // escalate through the recovery ladder's slow rung.
+            let mut plan = FaultPlan::new();
+            plan.seed_probability(
+                run.overlay.drill_seed.unwrap_or(1),
+                frac,
+                FaultKind::Slow,
+                false,
+            );
+            engine.set_fault_plan(plan);
+        }
+        match &run.eco {
+            // An ECO run verifies exactly the chip pair the plan was
+            // answered for; clean clusters splice from the warm cache.
+            Some(eco) => engine
+                .eco_verify_resident(&eco.old, &eco.new, run.overlay.resume, Some(&run.snapshot))
+                .map(|o| o.report),
+            None if run.overlay.resume => {
+                engine.resume_resident(&session.chip(), Some(&run.snapshot))
+            }
+            None => engine.verify_resident(&session.chip(), Some(&run.snapshot)),
+        }
+        .map_err(ApiError::from)
     };
     {
         let mut current = shared.current_stop.lock().unwrap_or_else(PoisonError::into_inner);
@@ -1049,12 +1113,48 @@ fn execute_run(shared: &Shared, run_id: &str) {
             ledger_append(shared, &run, "complete", stored.then_some(artifact));
         }
         Err(e) => {
-            run.set_state(RunState::Failed(ApiError::from(e)));
+            run.set_state(RunState::Failed(e));
             ledger_append(shared, &run, "failed", None);
         }
     }
     run.hub.close();
     session.set_state(SessionState::Completed);
+}
+
+/// The shard-coordinator dispatch: resolve the worker binary, map the
+/// overlay's shard knobs onto a [`CoordinatorConfig`], run, and fold the
+/// per-shard telemetry into the observatory.
+fn execute_sharded(
+    shared: &Shared,
+    session: &Session,
+    run: &RunHandle,
+    sink: Arc<dyn EventSink>,
+    stop: &StopFlag,
+) -> Result<pcv_engine::EngineReport, ApiError> {
+    let worker_exe = match &shared.cfg.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| ApiError::Internal(format!("locating worker executable: {e}")))?,
+    };
+    let shards = run.overlay.shards.unwrap_or(2);
+    let mut cfg = CoordinatorConfig::new(shards, worker_exe, session.cache_path.clone());
+    cfg.workers_per_shard = run.overlay.workers.unwrap_or(0);
+    cfg.warn_frac = run.overlay.warn_frac;
+    cfg.fail_frac = run.overlay.fail_frac;
+    cfg.check_receivers = run.overlay.check_receivers;
+    if let Some(ms) = run.overlay.shard_timeout_ms {
+        cfg.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    cfg.deadline = run.overlay.deadline_ms.map(Duration::from_millis);
+    if let Some(budget) = run.overlay.shard_restarts {
+        cfg.restart_budget = budget;
+    }
+    cfg.sink = Some(sink);
+    cfg.stop = Some(stop.clone());
+    let coordinator = Coordinator::new(session.spec(), session.chip(), cfg);
+    let outcome = coordinator.run(Some(&run.snapshot))?;
+    shared.obs.absorb_shard_run(&outcome);
+    Ok(outcome.report)
 }
 
 /// Fold a finished run into the observatory: outcome + `EngineStats` into
@@ -1066,7 +1166,7 @@ fn absorb_run_observations(
     shared: &Shared,
     session: &Session,
     run: &RunHandle,
-    outcome: &Result<pcv_engine::EngineReport, XtalkError>,
+    outcome: &Result<pcv_engine::EngineReport, ApiError>,
 ) {
     if !shared.cfg.observe {
         return;

@@ -132,6 +132,39 @@ impl DesignSpec {
             other => Err(ApiError::BadRequest(format!("unknown design kind {other:?}"))),
         }
     }
+
+    /// Serialize back to the `POST /sessions` wire shape — the form the
+    /// shard coordinator hands each worker process so it elaborates the
+    /// *identical* chip (same net ids, same fingerprints) the daemon
+    /// holds. Round-trips through [`DesignSpec::from_json`].
+    pub fn to_json(&self) -> String {
+        use pcv_trace::json::str_lit;
+        match self {
+            DesignSpec::Dsp { config } => format!(
+                "{{\"design\":{{\"kind\":\"dsp\",\"buses\":{},\"bits\":{},\"random\":{},\"cycle\":{},\"seed\":{}}}}}",
+                config.n_buses,
+                config.bus_bits,
+                config.n_random_nets,
+                pcv_trace::json::f64_lit(config.cycle),
+                config.seed
+            ),
+            DesignSpec::Spef { text, drive_ohms, victims } => {
+                let victims = match victims {
+                    VictimSel::All => "\"all\"".to_owned(),
+                    VictimSel::Named(names) => {
+                        let items: Vec<String> = names.iter().map(|n| str_lit(n)).collect();
+                        format!("[{}]", items.join(","))
+                    }
+                };
+                format!(
+                    "{{\"design\":{{\"kind\":\"spef\",\"text\":{},\"drive_ohms\":{},\"victims\":{}}}}}",
+                    str_lit(text),
+                    pcv_trace::json::f64_lit(*drive_ohms),
+                    victims
+                )
+            }
+        }
+    }
 }
 
 /// Driver cells the DSP generator instantiates — the set the batch
@@ -285,6 +318,10 @@ pub struct Session {
     /// How to re-elaborate an edited SPEF upload (`None` for generated
     /// designs, which have no parasitics document to patch).
     eco_ctx: Option<EcoContext>,
+    /// The wire spec the chip was elaborated from — what a shard
+    /// coordinator ships to worker processes. Kept in lockstep with the
+    /// chip across ECO swaps (see [`Session::record_eco_text`]).
+    spec: Mutex<DesignSpec>,
     state: Mutex<SessionState>,
 }
 
@@ -311,6 +348,7 @@ impl Session {
             id,
             chip: RwLock::new(Arc::new(elaborate(spec)?)),
             eco_ctx,
+            spec: Mutex::new(spec.clone()),
             state: Mutex::new(SessionState::Parsed),
         };
         session.set_state(SessionState::Elaborated);
@@ -345,6 +383,21 @@ impl Session {
             drive_ohms: ctx.drive_ohms,
             victims: ctx.victims.clone(),
         })
+    }
+
+    /// The wire spec the resident chip was elaborated from (a clone).
+    pub fn spec(&self) -> DesignSpec {
+        self.spec.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Record the SPEF text an accepted ECO patch swapped in, keeping the
+    /// stored spec aligned with the resident chip so shard workers
+    /// elaborate the post-ECO netlist. No-op for generated designs.
+    pub fn record_eco_text(&self, text: &str) {
+        let mut spec = self.spec.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let DesignSpec::Spef { text: stored, .. } = &mut *spec {
+            text.clone_into(stored);
+        }
     }
 
     /// Swap the resident chip, returning the one it replaces (the ECO

@@ -1,0 +1,651 @@
+//! The shard coordinator: fan a sign-off out to worker processes and
+//! merge the pieces back into one byte-identical report.
+//!
+//! # Supervision state machine
+//!
+//! Each shard gets one supervisor thread driving a simple loop:
+//!
+//! ```text
+//!            ┌────────────── backoff ◄─────────────┐
+//!            ▼                                     │
+//! spawn → streaming ──done+exit 0──► harvested     │
+//!            │                                     │
+//!            ├── crash (nonzero exit, EOF) ────────┤ restarts ≤ budget
+//!            ├── stall (heartbeat deadline) ─kill──┤
+//!            │                                     │
+//!            └──────── restarts > budget ──► exhausted (WorstCase fill)
+//! ```
+//!
+//! Any stdout line is a heartbeat; [`pcv_engine::VerdictSnapshot::beats`]
+//! carries worker liveness into the daemon's stall watchdog exactly as a
+//! single-process run would. Restart backoff is exponential (50 ms base,
+//! doubling, 2 s cap) and bounded by `restart_budget`.
+//!
+//! # Merge protocol
+//!
+//! Workers never stream authoritative results — files do. A shard that
+//! completed delivers its verdicts through its result cache (written
+//! atomically at run end); a shard that died mid-run leaves a checkpoint
+//! journal remnant; a shard that exhausted its budget has the gaps filled
+//! with conservative `WorstCase` entries carrying a recorded degradation
+//! trail. The coordinator folds all of it into one merged journal under
+//! its own `(config, chip)` fingerprint header and replays it through
+//! [`pcv_engine::Engine::resume_resident`] — entry adoption is
+//! fingerprint-guarded bit-for-bit, stragglers are recomputed in-process,
+//! and byte-identity with an unsharded run follows from the resume
+//! equivalence the durability layer already proves.
+
+use crate::error::ApiError;
+use crate::session::DesignSpec;
+use crate::worker::parse_verdict;
+use pcv_engine::durable::StopFlag;
+use pcv_engine::fs::Fs;
+use pcv_engine::shard::{harvest_shard, partition, ShardFault, ShardFaultPlan};
+use pcv_engine::{
+    chip_slice_fingerprint, config_hash, write_merged_journal, Engine, EngineConfig, EngineReport,
+    ResidentChip, VerdictSnapshot,
+};
+use pcv_obs::json::{parse, Value};
+use pcv_obs::EventSink;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a sharded run is set up: topology, timeouts, budgets, drills.
+#[derive(Clone)]
+pub struct CoordinatorConfig {
+    /// Number of shards (worker processes), ≥ 1.
+    pub shards: usize,
+    /// The `pcv_serve` binary to spawn with `--shard-worker`.
+    pub worker_exe: PathBuf,
+    /// Merged cache stem; shard `k` journals and caches under
+    /// `<cache>.shard<k>`.
+    pub cache_path: PathBuf,
+    /// Engine threads inside each worker (0 = auto).
+    pub workers_per_shard: usize,
+    /// Warning threshold override (fraction of Vdd).
+    pub warn_frac: Option<f64>,
+    /// Failure threshold override (fraction of Vdd).
+    pub fail_frac: Option<f64>,
+    /// Receiver-propagation check override.
+    pub check_receivers: Option<bool>,
+    /// A worker silent for this long is declared stalled and killed.
+    pub heartbeat_timeout: Duration,
+    /// Whole-run deadline; exceeding it kills every worker and fails the
+    /// run with [`ApiError::Timeout`] instead of hanging the stream.
+    pub deadline: Option<Duration>,
+    /// Restarts allowed per shard before it is declared exhausted.
+    pub restart_budget: u32,
+    /// Deterministic failure drills.
+    pub fault_plan: ShardFaultPlan,
+    /// Event sink for the merge run (the daemon threads its hub here).
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Cooperative stop for the merge run (the daemon's drain flag).
+    pub stop: Option<StopFlag>,
+}
+
+impl CoordinatorConfig {
+    /// A config with production defaults: 10 s heartbeat, no deadline,
+    /// 3 restarts per shard, no drills.
+    #[must_use]
+    pub fn new(shards: usize, worker_exe: PathBuf, cache_path: PathBuf) -> Self {
+        CoordinatorConfig {
+            shards: shards.max(1),
+            worker_exe,
+            cache_path,
+            workers_per_shard: 0,
+            warn_frac: None,
+            fail_frac: None,
+            check_receivers: None,
+            heartbeat_timeout: Duration::from_millis(10_000),
+            deadline: None,
+            restart_budget: 3,
+            fault_plan: ShardFaultPlan::new(),
+            sink: None,
+            stop: None,
+        }
+    }
+}
+
+/// What one shard went through, for `/metrics`, `/healthz`, and tests.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Victims in the shard's slice.
+    pub victims: usize,
+    /// Worker restarts performed.
+    pub restarts: u32,
+    /// Heartbeat deadlines missed (each one kills an incarnation).
+    pub heartbeat_misses: u32,
+    /// Whether the restart budget ran out (WorstCase fill applied).
+    pub exhausted: bool,
+    /// Torn journal lines the shard's replays skipped (worker-reported,
+    /// plus what the coordinator's own harvest load skipped).
+    pub torn_journal_lines: usize,
+    /// Peak worker heap, bytes (0 when allocation tracking is off).
+    pub peak_alloc_bytes: u64,
+    /// Verdicts harvested from the shard's result cache.
+    pub from_cache: usize,
+    /// Verdicts harvested from the shard's journal remnant.
+    pub from_journal: usize,
+    /// Conservative worst-case verdicts synthesized for missing victims.
+    pub worst_case: usize,
+}
+
+/// A completed sharded run: the merged report plus per-shard telemetry.
+#[derive(Debug)]
+pub struct ShardRunOutcome {
+    /// The merged report; `signoff_json()` is byte-identical to an
+    /// unsharded run (plus any budget-exhaustion degradations).
+    pub report: EngineReport,
+    /// Per-shard supervision statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardRunOutcome {
+    /// Total restarts across shards.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.restarts)).sum()
+    }
+
+    /// Total heartbeat misses across shards.
+    #[must_use]
+    pub fn heartbeat_misses(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.heartbeat_misses)).sum()
+    }
+
+    /// Shards that exhausted their restart budget.
+    #[must_use]
+    pub fn degraded_shards(&self) -> u64 {
+        self.shards.iter().filter(|s| s.exhausted).count() as u64
+    }
+}
+
+/// Per-incarnation drill knobs extracted from the fault plan.
+#[derive(Debug, Clone, Copy, Default)]
+struct Drills {
+    panic_after: Option<usize>,
+    stall_after: Option<usize>,
+    sigkill_frac: Option<f64>,
+    torn_journal: bool,
+    duplicate_entry: bool,
+}
+
+fn drills_for(plan: &ShardFaultPlan, shard: usize, incarnation: u32) -> Drills {
+    let mut d = Drills::default();
+    for f in plan.faults_for(shard, incarnation) {
+        match f.fault {
+            ShardFault::PanicAfter(n) => d.panic_after = Some(n),
+            ShardFault::StallAfter(n) => d.stall_after = Some(n),
+            ShardFault::SigkillAtFrac(x) => d.sigkill_frac = Some(x),
+            ShardFault::TornJournal => d.torn_journal = true,
+            ShardFault::DuplicateEntry => d.duplicate_entry = true,
+        }
+    }
+    d
+}
+
+/// Tear the journal's final line mid-frame (what a crash mid-append
+/// leaves behind) — the replay must drop exactly that line.
+fn tear_journal_tail(path: &Path) {
+    if let Ok(bytes) = std::fs::read(path) {
+        if bytes.len() > 8 {
+            let _ = std::fs::write(path, &bytes[..bytes.len() - 7]);
+        }
+    }
+}
+
+/// Append a copy of the journal's last intact record — replay must
+/// dedupe by victim name, not double-count.
+fn duplicate_journal_tail(path: &Path) {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Some(last) = text.lines().rfind(|l| !l.is_empty()) {
+            let mut f = match std::fs::OpenOptions::new().append(true).open(path) {
+                Ok(f) => f,
+                Err(_) => return,
+            };
+            let _ = writeln!(f, "{last}");
+        }
+    }
+}
+
+/// One supervisor's terminal state.
+struct ShardResult {
+    stats: ShardStats,
+    exhausted_reason: Option<String>,
+    timed_out: bool,
+}
+
+struct ShardJob {
+    shard: usize,
+    slice_len: usize,
+    config_line: String, // without the trailing '}' and drill keys
+    cache: PathBuf,
+    worker_exe: PathBuf,
+    heartbeat_timeout: Duration,
+    deadline: Option<Instant>,
+    restart_budget: u32,
+    plan: ShardFaultPlan,
+    snapshot: Arc<VerdictSnapshot>,
+}
+
+fn spawn_worker(
+    job: &ShardJob,
+    drills: Drills,
+) -> std::io::Result<(Child, mpsc::Receiver<String>)> {
+    let mut child = Command::new(&job.worker_exe)
+        .arg("--shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let mut line = job.config_line.clone();
+    if let Some(n) = drills.panic_after {
+        line.push_str(&format!(",\"panic_after\":{n}"));
+    }
+    if let Some(n) = drills.stall_after {
+        line.push_str(&format!(",\"stall_after\":{n}"));
+    }
+    line.push('}');
+    if let Some(mut stdin) = child.stdin.take() {
+        let _ = writeln!(stdin, "{line}");
+        // Dropping stdin closes the pipe; the worker has its one line.
+    }
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(stdout);
+        for read in reader.lines() {
+            let Ok(l) = read else { break };
+            if tx.send(l).is_err() {
+                break;
+            }
+        }
+        // EOF drops tx; the supervisor sees Disconnected.
+    });
+    Ok((child, rx))
+}
+
+/// Why one worker incarnation ended.
+enum Exit {
+    Done { peak: u64, torn: usize },
+    Crashed,
+    Stalled,
+    TimedOut,
+}
+
+fn supervise_incarnation(
+    job: &ShardJob,
+    child: &mut Child,
+    rx: &mpsc::Receiver<String>,
+    drills: Drills,
+    stats: &mut ShardStats,
+) -> Exit {
+    let mut emitted = 0usize;
+    let mut sigkill_frac = drills.sigkill_frac;
+    loop {
+        let wait = match job.deadline {
+            Some(d) => {
+                let Some(left) = d.checked_duration_since(Instant::now()) else {
+                    let _ = child.kill();
+                    return Exit::TimedOut;
+                };
+                job.heartbeat_timeout.min(left)
+            }
+            None => job.heartbeat_timeout,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(line) => {
+                job.snapshot.beat();
+                let Ok(doc) = parse(&line) else { continue };
+                match doc.get("kind").and_then(Value::as_str) {
+                    Some("hello") => {
+                        if let Some(t) = doc.get("torn_journal_lines").and_then(Value::as_u64) {
+                            stats.torn_journal_lines = stats.torn_journal_lines.max(t as usize);
+                        }
+                    }
+                    Some("verdict") => {
+                        if let Some(v) = parse_verdict(&doc) {
+                            job.snapshot.insert(v);
+                        }
+                        emitted += 1;
+                        if let Some(frac) = sigkill_frac {
+                            if emitted as f64 >= frac * job.slice_len as f64 {
+                                sigkill_frac = None;
+                                let _ = child.kill();
+                                // The drill *is* the crash; fall through to
+                                // EOF → restart like any real kill -9.
+                            }
+                        }
+                    }
+                    Some("done") => {
+                        let peak = doc.get("peak_alloc_bytes").and_then(Value::as_u64).unwrap_or(0);
+                        let torn =
+                            doc.get("torn_journal_lines").and_then(Value::as_u64).unwrap_or(0)
+                                as usize;
+                        return Exit::Done { peak, torn };
+                    }
+                    _ => {} // beats and anything future just prove liveness
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(d) = job.deadline {
+                    if Instant::now() >= d {
+                        let _ = child.kill();
+                        return Exit::TimedOut;
+                    }
+                }
+                if matches!(child.try_wait(), Ok(Some(_))) {
+                    return Exit::Crashed;
+                }
+                stats.heartbeat_misses += 1;
+                let _ = child.kill();
+                return Exit::Stalled;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Exit::Crashed,
+        }
+    }
+}
+
+fn supervise_shard(job: &ShardJob) -> ShardResult {
+    let mut stats =
+        ShardStats { shard: job.shard, victims: job.slice_len, ..ShardStats::default() };
+    let mut incarnation = 0u32;
+    loop {
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                return ShardResult { stats, exhausted_reason: None, timed_out: true };
+            }
+        }
+        let drills = drills_for(&job.plan, job.shard, incarnation);
+        let Ok((mut child, rx)) = spawn_worker(job, drills) else {
+            // Spawn failure burns a restart like any other incarnation
+            // death — persistent spawn failure ends in WorstCase fill,
+            // not a hung coordinator.
+            stats.restarts += 1;
+            if stats.restarts > job.restart_budget {
+                return exhausted(job, stats);
+            }
+            incarnation += 1;
+            backoff(incarnation);
+            continue;
+        };
+        let exit = supervise_incarnation(job, &mut child, &rx, drills, &mut stats);
+        // After a done line the child is exiting on its own — killing it
+        // here would race its natural exit and turn an honest completion
+        // into a SIGKILL status. Everything else gets killed so a child is
+        // never leaked.
+        let status = match exit {
+            Exit::Done { .. } => wait_bounded(&mut child, job.heartbeat_timeout),
+            _ => {
+                let _ = child.kill();
+                child.wait()
+            }
+        };
+        match exit {
+            Exit::Done { peak, torn } => {
+                if matches!(&status, Ok(s) if s.success()) {
+                    stats.peak_alloc_bytes = stats.peak_alloc_bytes.max(peak);
+                    stats.torn_journal_lines = stats.torn_journal_lines.max(torn);
+                    return ShardResult { stats, exhausted_reason: None, timed_out: false };
+                }
+                // A done line from a worker that then failed is not
+                // trustworthy; treat as a crash.
+            }
+            Exit::TimedOut => {
+                return ShardResult { stats, exhausted_reason: None, timed_out: true }
+            }
+            Exit::Crashed | Exit::Stalled => {}
+        }
+        // Post-mortem journal drills: corrupt the shard journal the way a
+        // real crash can, *between* death and restart, so the replacement
+        // incarnation's replay proves the tolerance.
+        let journal = pcv_engine::Journal::path_for(&job.cache);
+        if drills.torn_journal {
+            tear_journal_tail(&journal);
+        }
+        if drills.duplicate_entry {
+            duplicate_journal_tail(&journal);
+        }
+        stats.restarts += 1;
+        if stats.restarts > job.restart_budget {
+            return exhausted(job, stats);
+        }
+        incarnation += 1;
+        backoff(incarnation);
+    }
+}
+
+fn exhausted(job: &ShardJob, mut stats: ShardStats) -> ShardResult {
+    stats.exhausted = true;
+    let reason = format!(
+        "shard {} worker exhausted restart budget ({} restarts)",
+        job.shard, job.restart_budget
+    );
+    ShardResult { stats, exhausted_reason: Some(reason), timed_out: false }
+}
+
+/// Wait for a child's natural exit, but never past `limit` — a worker
+/// that said "done" yet won't die still gets reaped.
+fn wait_bounded(child: &mut Child, limit: Duration) -> std::io::Result<std::process::ExitStatus> {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(status);
+        }
+        if start.elapsed() >= limit {
+            let _ = child.kill();
+            return child.wait();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Exponential backoff: 50 ms doubling per restart, capped at 2 s.
+fn backoff(incarnation: u32) {
+    let ms = 50u64.saturating_mul(1u64 << incarnation.saturating_sub(1).min(6));
+    std::thread::sleep(Duration::from_millis(ms.min(2_000)));
+}
+
+/// The coordinator: owns the chip view, the shard topology, and the
+/// merge. Construct one per sharded run.
+pub struct Coordinator {
+    spec: DesignSpec,
+    chip: Arc<ResidentChip>,
+    cfg: CoordinatorConfig,
+}
+
+impl Coordinator {
+    /// A coordinator for `chip`, which must be the elaboration of `spec`
+    /// (workers re-elaborate from the spec and must agree on net ids).
+    #[must_use]
+    pub fn new(spec: DesignSpec, chip: Arc<ResidentChip>, cfg: CoordinatorConfig) -> Self {
+        Coordinator { spec, chip, cfg }
+    }
+
+    /// Shard `k`'s cache stem.
+    #[must_use]
+    pub fn shard_cache(&self, shard: usize) -> PathBuf {
+        PathBuf::from(format!("{}.shard{shard}", self.cfg.cache_path.display()))
+    }
+
+    fn worker_config_line(&self, shard: usize, cache: &Path) -> String {
+        use pcv_trace::json::str_lit;
+        let mut line = self.spec.to_json();
+        debug_assert!(line.ends_with('}'));
+        line.pop();
+        line.push_str(&format!(
+            ",\"shards\":{},\"shard\":{},\"cache\":{},\"workers\":{}",
+            self.cfg.shards,
+            shard,
+            str_lit(&cache.display().to_string()),
+            self.cfg.workers_per_shard
+        ));
+        if let Some(w) = self.cfg.warn_frac {
+            line.push_str(&format!(",\"warn_frac\":{}", pcv_trace::json::f64_lit(w)));
+        }
+        if let Some(f) = self.cfg.fail_frac {
+            line.push_str(&format!(",\"fail_frac\":{}", pcv_trace::json::f64_lit(f)));
+        }
+        if let Some(c) = self.cfg.check_receivers {
+            line.push_str(&format!(",\"check_receivers\":{c}"));
+        }
+        line // drill keys + closing '}' are appended per incarnation
+    }
+
+    /// The engine configuration the merge run (and the fingerprints) use
+    /// — the same resolution a single-process run of this overlay gets.
+    fn merge_engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig {
+            cache_path: Some(self.cfg.cache_path.clone()),
+            ..EngineConfig::default()
+        };
+        if let Some(w) = self.cfg.warn_frac {
+            cfg.warn_frac = w;
+        }
+        if let Some(f) = self.cfg.fail_frac {
+            cfg.fail_frac = f;
+        }
+        if let Some(c) = self.cfg.check_receivers {
+            cfg.check_receivers = c;
+        }
+        cfg
+    }
+
+    /// Run the sharded sign-off: fan out, supervise, merge, prove.
+    ///
+    /// `snapshot`, when given, is mirrored live: worker verdict lines are
+    /// inserted as they stream in (bumping `beats`, which keeps the
+    /// daemon's stall watchdog honest), and idle worker beats tick it too.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Timeout`] when the run deadline expires;
+    /// [`ApiError::Internal`] for merge-journal I/O failures; engine
+    /// errors from the merge run mapped through `From<XtalkError>`.
+    pub fn run(
+        &self,
+        snapshot: Option<&Arc<VerdictSnapshot>>,
+    ) -> Result<ShardRunOutcome, ApiError> {
+        let slices = partition(&self.chip, self.chip.victims(), self.cfg.shards);
+        let deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+        let own_snapshot = Arc::new(VerdictSnapshot::new());
+
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(slices.len());
+            for (k, slice) in slices.iter().enumerate() {
+                let cache = self.shard_cache(k);
+                let job = ShardJob {
+                    shard: k,
+                    slice_len: slice.len(),
+                    config_line: self.worker_config_line(k, &cache),
+                    cache,
+                    worker_exe: self.cfg.worker_exe.clone(),
+                    heartbeat_timeout: self.cfg.heartbeat_timeout,
+                    deadline,
+                    restart_budget: self.cfg.restart_budget,
+                    plan: self.cfg.fault_plan.clone(),
+                    snapshot: snapshot.map_or_else(|| Arc::clone(&own_snapshot), Arc::clone),
+                };
+                handles.push(scope.spawn(move || supervise_shard(&job)));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| ShardResult {
+                        stats: ShardStats::default(),
+                        exhausted_reason: None,
+                        timed_out: true,
+                    })
+                })
+                .collect()
+        });
+
+        if results.iter().any(|r| r.timed_out) {
+            return Err(ApiError::Timeout(format!(
+                "sharded run exceeded its deadline of {:?}",
+                self.cfg.deadline.unwrap_or_default()
+            )));
+        }
+
+        // Merge: harvest every shard's files, fill exhausted shards with
+        // WorstCase, write one journal, resume in-process.
+        let ecfg = self.merge_engine_config();
+        let ctx = self.chip.ctx();
+        let chash = config_hash(
+            &ctx,
+            &ecfg.prune,
+            &ecfg.analysis,
+            ecfg.warn_frac,
+            ecfg.fail_frac,
+            ecfg.check_receivers,
+        );
+        let chip_fp = chip_slice_fingerprint(&ctx, self.chip.victims());
+        let fs = Fs::real();
+        let mut entries = Vec::new();
+        let mut shard_stats = Vec::with_capacity(results.len());
+        for (k, result) in results.into_iter().enumerate() {
+            let (es, contrib) = harvest_shard(
+                &self.chip,
+                &ecfg.prune,
+                chash,
+                ecfg.analysis.vdd,
+                &slices[k],
+                &self.shard_cache(k),
+                &fs,
+                result.exhausted_reason.as_deref(),
+            );
+            entries.extend(es);
+            let mut stats = result.stats;
+            stats.torn_journal_lines = stats.torn_journal_lines.max(contrib.torn_lines);
+            stats.from_cache = contrib.from_cache;
+            stats.from_journal = contrib.from_journal;
+            stats.worst_case = contrib.worst_case;
+            shard_stats.push(stats);
+        }
+        write_merged_journal(&fs, &self.cfg.cache_path, chash, chip_fp, &entries)
+            .map_err(|e| ApiError::Internal(format!("merged journal: {e}")))?;
+
+        let mut merge_cfg = self.merge_engine_config();
+        merge_cfg.sink = self.cfg.sink.clone();
+        merge_cfg.durable.stop = self.cfg.stop.clone();
+        let engine = Engine::new(merge_cfg);
+        let report = engine.resume_resident(&self.chip, snapshot.map(Arc::as_ref))?;
+        Ok(ShardRunOutcome { report, shards: shard_stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded() {
+        // Just exercise the arithmetic paths (no sleep assertions — the
+        // cap is the contract).
+        for i in 0..40 {
+            let ms = 50u64.saturating_mul(1u64 << i.min(6)).min(2_000);
+            assert!(ms <= 2_000);
+        }
+    }
+
+    #[test]
+    fn shard_cache_paths_are_distinct() {
+        let cfg = CoordinatorConfig::new(4, "/bin/true".into(), "/tmp/s.cache".into());
+        let spec = DesignSpec::from_json(
+            "{\"design\":{\"kind\":\"dsp\",\"buses\":1,\"bits\":2,\"random\":0}}",
+        )
+        .unwrap();
+        let chip = Arc::new(crate::session::elaborate(&spec).unwrap());
+        let c = Coordinator::new(spec, chip, cfg);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..4 {
+            assert!(seen.insert(c.shard_cache(k)));
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //!   load-dsp [--buses N] [--bits N] [--random N]   create a DSP-fixture session
 //!   load-spef FILE [--drive OHMS]                  create a session from a SPEF file
 //!   run SESSION [--workers N] [--resume] [--stop-after N]
+//!       [--shards N] [--shard-timeout-ms MS] [--deadline-ms MS]
 //!   eco SESSION FILE [--workers N] [--resume]      patch the resident parasitics with an
 //!                                                  edited SPEF and splice-verify the delta
 //!   events RUN                                     tail the live JSONL event stream
@@ -124,6 +125,15 @@ fn main() {
             }
             if let Some(n) = take_flag(&mut args, "--stop-after") {
                 fields.push(format!("\"stop_after\":{n}"));
+            }
+            if let Some(n) = take_flag(&mut args, "--shards") {
+                fields.push(format!("\"shards\":{n}"));
+            }
+            if let Some(ms) = take_flag(&mut args, "--shard-timeout-ms") {
+                fields.push(format!("\"shard_timeout_ms\":{ms}"));
+            }
+            if let Some(ms) = take_flag(&mut args, "--deadline-ms") {
+                fields.push(format!("\"deadline_ms\":{ms}"));
             }
             if take_switch(&mut args, "--resume") {
                 fields.push("\"resume\":true".into());
